@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artifact on a representative
+module subset (full-dataset runs live in ``examples/`` and the
+EXPERIMENTS.md generator; pytest-benchmark needs bounded runtimes).
+The measured value is the full experiment driver — dataset generation
+is cached so the benchmark times the verification pipeline itself.
+"""
+
+import pytest
+
+#: Representative subset: one easy and one hard module per Table II
+#: group keeps every stage of the pipeline exercised.
+QUICK_MODULES = ["adder_8bit", "accu", "counter_12", "fsm_seq",
+                 "ram_sp", "edge_detect"]
+
+#: Attempts per instance (paper uses 5; bounded here for runtime).
+QUICK_ATTEMPTS = 2
+
+
+@pytest.fixture(scope="session")
+def quick_modules():
+    return list(QUICK_MODULES)

@@ -1,0 +1,45 @@
+"""Benchmark: the extra design-choice ablations (DESIGN.md).
+
+Not a paper table; regenerates the two UVLLM-internal ablations that
+justify design decisions the paper asserts qualitatively:
+
+- rollback prevents hallucination accumulation (paper Section III-C);
+- MS-then-SL escalation balances token cost against precision
+  (Algorithm 2's threshold).
+"""
+
+from benchmarks.conftest import QUICK_ATTEMPTS
+from repro.experiments import ablations
+
+MODULES = ["counter_12", "edge_detect", "accu"]
+
+
+def test_rollback_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablations.run_rollback_ablation(
+            modules=MODULES, per_operator=1, attempts=QUICK_ATTEMPTS
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + ablations.render(results, "Ablation: rollback"))
+    with_rb = results["with_rollback"]
+    without_rb = results["without_rollback"]
+    assert with_rb["n"] > 0
+    # Rollback never hurts FR (it only discards score-decreasing code).
+    assert with_rb["fr"] >= without_rb["fr"] - 10.0
+
+
+def test_ms_threshold_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablations.run_ms_threshold_ablation(
+            modules=MODULES, per_operator=1, attempts=QUICK_ATTEMPTS
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + ablations.render(results, "Ablation: MS threshold"))
+    default = results["ms_iterations=2"]
+    never_sl = results["ms_iterations=5"]
+    assert default["n"] > 0
+    # The paper's segmented strategy: having SL available can only help
+    # relative to never escalating.
+    assert default["fr"] >= never_sl["fr"] - 10.0

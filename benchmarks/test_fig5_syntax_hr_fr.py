@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 5 (syntax-error HR vs FR).
+
+Checks the paper's shape claims on the quick subset:
+- UVLLM's syntax FR beats MEIC's;
+- UVLLM's HR-FR gap is (near) zero.
+"""
+
+from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
+from repro.experiments import fig5
+
+
+def _run():
+    return fig5.run(
+        modules=QUICK_MODULES, per_operator=1, attempts=QUICK_ATTEMPTS
+    )
+
+
+def test_fig5_syntax_hr_fr(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + fig5.render(results))
+
+    uvllm = results["average"]["uvllm"]
+    meic = results["average"]["meic"]
+    assert uvllm["n"] > 0
+    # Shape: UVLLM >= MEIC on FR; near-zero HR-FR gap for UVLLM.
+    assert uvllm["fr"] >= meic["fr"]
+    assert uvllm["hr"] - uvllm["fr"] <= 10.0

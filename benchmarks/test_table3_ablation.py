@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table III (pair vs complete-code ablation).
+
+Shape claims on the quick subset: the pair form is at least as good on
+FR and cheaper in modelled execution time than whole-module
+regeneration (whose decode volume and corruption risk cost it both).
+"""
+
+from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
+from repro.experiments import table3
+
+
+def _run():
+    return table3.run(
+        modules=QUICK_MODULES[:4], per_operator=1, attempts=QUICK_ATTEMPTS
+    )
+
+
+def test_table3_ablation(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print("\n" + table3.render(results))
+
+    pair = results["pair"]
+    complete = results["complete"]
+    # FR: pair >= complete on at least the aggregate of both kinds.
+    pair_total = pair["syntax"]["fr"] + pair["functional"]["fr"]
+    comp_total = complete["syntax"]["fr"] + complete["functional"]["fr"]
+    assert pair_total >= comp_total - 1e-9
+    # Time: regenerating whole modules costs more decode seconds on
+    # functional repairs.
+    if complete["functional"]["n"] and pair["functional"]["n"]:
+        assert complete["functional"]["seconds"] >= \
+            pair["functional"]["seconds"] * 0.8

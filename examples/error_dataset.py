@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Build (a slice of) the paradigm error dataset and inspect it.
+
+Mirrors the paper's Section III-E: systematic mutation of verified
+designs with Table I's human-style error patterns, keeping only
+instances whose errors are actually *triggered* — syntax mutations must
+fail the linter, functional mutations must fail the UVM testbench.
+"""
+
+from collections import Counter
+
+from repro.bench import get_module, make_hr_sequence
+from repro.errgen import generate_dataset
+from repro.errgen.generator import dataset_summary
+from repro.uvm import run_uvm_test
+
+MODULES = ["adder_8bit", "counter_12", "accu", "edge_detect", "sync_fifo"]
+
+
+def main():
+    print(f"Generating validated error instances for {MODULES} ...")
+    instances = generate_dataset(
+        seed=0, per_operator=2, target=None, modules=MODULES
+    )
+    summary = dataset_summary(instances)
+    print(f"\nTotal instances: {summary['total']}")
+    print(f"By kind       : {summary['by_kind']}")
+    print(f"By class      : {summary['by_class']}")
+    print(f"By category   : {summary['by_category']}")
+
+    print("\nSample instances:")
+    seen_ops = set()
+    for inst in instances:
+        if inst.operator in seen_ops:
+            continue
+        seen_ops.add(inst.operator)
+        print(f"  [{inst.kind:10s}] {inst.instance_id:40s} "
+              f"{inst.description}")
+
+    # Demonstrate the triggered-error guarantee on one functional case.
+    functional = next(i for i in instances if i.kind == "functional")
+    bench = get_module(functional.module_name)
+    result = run_uvm_test(
+        functional.buggy_source, make_hr_sequence(bench), bench.protocol,
+        bench.model(), bench.compare_signals, top=bench.top,
+    )
+    print(f"\nTriggered-error check on {functional.instance_id}:")
+    print(f"  pass rate        : {result.pass_rate:.2%}")
+    print(f"  mismatch signals : {result.mismatch_signals}")
+    print(f"  first log lines  :")
+    for entry in result.log.mismatches()[:3]:
+        print(f"    {entry.format()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Compare UVLLM against all four baselines on a handful of bugs.
+
+Reproduces the shape of Figs. 5-6 in miniature: each method repairs the
+same instances; HR is the method's own acceptance, FR is the held-out
+extended suite.  Watch the baselines' HR exceed their FR (overfitting
+to finite tests) while UVLLM's coverage keeps the two aligned.
+"""
+
+from repro.errgen import generate_dataset
+from repro.experiments.runner import run_method_on_instance
+
+MODULES = ["counter_12", "edge_detect", "accu"]
+METHODS = ("uvllm", "meic", "gpt-4-turbo", "strider", "rtlrepair")
+
+
+def main():
+    instances = generate_dataset(
+        seed=0, per_operator=1, target=None, modules=MODULES
+    )
+    print(f"{len(instances)} error instances over {MODULES}\n")
+    header = f"{'method':<14}{'HR %':>8}{'FR %':>8}{'gap':>8}{'t (s)':>9}"
+    print(header)
+    print("-" * len(header))
+    for method in METHODS:
+        records = [
+            run_method_on_instance(method, inst, attempts=2)
+            for inst in instances
+        ]
+        hr = 100.0 * sum(r.hit for r in records) / len(records)
+        fr = 100.0 * sum(r.fixed for r in records) / len(records)
+        seconds = sum(r.seconds for r in records) / len(records)
+        print(f"{method:<14}{hr:>8.1f}{fr:>8.1f}{hr - fr:>8.1f}"
+              f"{seconds:>9.2f}")
+    print(
+        "\nExpected shape (paper Figs. 5-6 / Table II): UVLLM leads FR "
+        "with a near-zero HR-FR gap;\nLLM baselines show high HR but "
+        "large gaps; template methods trail on FR."
+    )
+
+
+if __name__ == "__main__":
+    main()

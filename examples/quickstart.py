@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: verify and repair a buggy counter with UVLLM.
+
+Injects a classic operator-misuse bug into the modulo-12 counter, runs
+the full UVLLM pipeline (pre-processing -> UVM testbench -> localization
+-> LLM repair with rollback), and shows the repaired code plus the
+pipeline accounting.
+"""
+
+from repro import MockLLM, UVLLM, UVLLMConfig, get_module
+from repro.experiments.runner import evaluate_fix
+
+
+def main():
+    bench = get_module("counter_12")
+    print(f"Design under test: {bench.name} ({bench.category})")
+    print(bench.spec)
+
+    # A human-style slip: increment became decrement (Table I,
+    # "operator misuse").
+    buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+    print("--- Injected bug: 'out + 4'd1' -> 'out - 4'd1'")
+
+    llm = MockLLM(seed=0)
+    framework = UVLLM(llm, UVLLMConfig(max_iterations=5, ms_iterations=2))
+    outcome = framework.verify_and_repair(buggy, bench)
+
+    print(f"Repaired            : {outcome.hit}")
+    print(f"Fixing stage        : {outcome.stage}")
+    print(f"Repair iterations   : {outcome.iterations}")
+    print(f"Pass-rate history   : "
+          f"{['%.2f' % p for p in outcome.pass_rate_history]}")
+    print(f"Modelled exec time  : {outcome.seconds:.2f} s")
+    print(f"LLM calls / cost    : {outcome.llm_calls} / "
+          f"${outcome.cost_usd:.4f}")
+
+    expert_ok = evaluate_fix(outcome.final_source, bench)
+    print(f"Expert (FR) check   : {'PASS' if expert_ok else 'FAIL'}")
+
+    print("\n--- Repaired source ---")
+    print(outcome.final_source)
+
+
+if __name__ == "__main__":
+    main()

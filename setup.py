@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 660 editable installs on
+older setuptools; ``python setup.py develop`` works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

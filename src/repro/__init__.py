@@ -1,0 +1,52 @@
+"""UVLLM reproduction: an automated universal RTL verification framework.
+
+Public API highlights:
+
+- :class:`repro.core.UVLLM` — the end-to-end verify-and-repair pipeline;
+- :class:`repro.llm.MockLLM` — the deterministic simulated LLM (swap in
+  any :class:`repro.llm.LLMClient` implementation for a real model);
+- :mod:`repro.bench` — the 27-design benchmark suite with specs,
+  reference models and UVM harness configuration;
+- :mod:`repro.errgen` — the paradigm error generator (Table I);
+- :mod:`repro.experiments` — drivers regenerating every paper table
+  and figure.
+
+Quick start::
+
+    from repro import UVLLM, MockLLM, UVLLMConfig, get_module
+
+    bench = get_module("counter_12")
+    buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+    outcome = UVLLM(MockLLM(seed=0), UVLLMConfig()).verify_and_repair(
+        buggy, bench
+    )
+    assert outcome.hit
+"""
+
+from repro.bench.registry import (
+    all_modules,
+    get_module,
+    make_fr_sequence,
+    make_hr_sequence,
+)
+from repro.core.config import UVLLMConfig
+from repro.core.framework import UVLLM, VerificationOutcome
+from repro.llm.client import LLMClient, LLMResponse
+from repro.llm.mock import MockLLM, MockLLMProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UVLLM",
+    "UVLLMConfig",
+    "VerificationOutcome",
+    "LLMClient",
+    "LLMResponse",
+    "MockLLM",
+    "MockLLMProfile",
+    "get_module",
+    "all_modules",
+    "make_hr_sequence",
+    "make_fr_sequence",
+    "__version__",
+]

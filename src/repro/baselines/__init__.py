@@ -1,0 +1,33 @@
+"""Comparator methods from the paper's evaluation.
+
+Each baseline reimplements the comparison system at the level the paper
+evaluates it:
+
+- :class:`MEIC` — iterative LLM debugging with a *fixed, finite*
+  testbench, raw-log prompts, whole-module regeneration and an LLM
+  judge instead of a quantitative score (paper [17]);
+- :class:`DirectLLM` — GPT-4-turbo one-shot repair (pass@k sampling,
+  no framework around it);
+- :class:`Strider` — signal-value-transition-guided template repair,
+  no LLM, functional errors only (paper [8]);
+- :class:`RTLRepair` — template/symbolic repair over small literal and
+  operator edits, functional errors only (paper [9]).
+
+All of them accept through their *own* testbench — exactly the property
+that produces the HR >> FR overfitting gap of Figs. 5-6.
+"""
+
+from repro.baselines.common import BaselineOutcome, SimpleTestbench
+from repro.baselines.meic import MEIC
+from repro.baselines.direct import DirectLLM
+from repro.baselines.strider import Strider
+from repro.baselines.rtlrepair import RTLRepair
+
+__all__ = [
+    "BaselineOutcome",
+    "SimpleTestbench",
+    "MEIC",
+    "DirectLLM",
+    "Strider",
+    "RTLRepair",
+]

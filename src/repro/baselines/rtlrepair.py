@@ -1,0 +1,132 @@
+"""RTL-Repair reimplementation (paper [9]).
+
+RTL-Repair performs fast symbolic repair: it instruments the design
+with repair templates (literal replacement, operator substitution,
+condition tweaks), then solves for template parameters that make the
+provided tests pass.  The search is exhaustive over a small edit space
+rather than localized, so it is strong on condition/literal defects but
+blind to anything its template grammar cannot express, and — like every
+test-driven repair — it accepts the first parameterization that
+satisfies the finite test set (hence the Fig. 6 HR-FR gap).
+
+The "solver" here is an explicit enumeration of the same parameter
+space, checked against the testbench, which preserves both the
+capability envelope and the overfitting behaviour.
+"""
+
+import re
+
+from repro.baselines.common import BaselineOutcome, SimpleTestbench
+from repro.lint.linter import Linter
+from repro.metrics.timing import TimingModel
+
+_SOLVE_SECONDS = 0.02  # per solver query (template parameterization)
+
+_SIZED = re.compile(r"(\d+)'([bdh])([0-9a-fA-F_]+)")
+_OPS = [("==", "!="), ("!=", "=="), ("<", "<="), ("<=", "<"),
+        (">", ">="), (">=", ">"), ("&&", "||"), ("||", "&&"),
+        ("+", "-"), ("-", "+")]
+
+
+class RTLRepair:
+    """Template/symbolic repair over literals, comparisons, conditions."""
+
+    name = "rtlrepair"
+
+    def __init__(self, budget=120, vectors=8):
+        self.budget = budget
+        self.vectors = vectors
+        self.linter = Linter()
+
+    def repair(self, source, bench):
+        timing = TimingModel()
+        testbench = SimpleTestbench(bench, vectors=self.vectors)
+
+        if self.linter.lint(source).errors:
+            timing.lint("rtlrepair")
+            return BaselineOutcome(
+                final_source=source, hit=False, seconds=timing.seconds,
+                stage_seconds=dict(timing.clock.by_stage),
+            )
+
+        result = testbench.run(source, timing, stage="rtlrepair")
+        if result.all_passed:
+            return BaselineOutcome(
+                final_source=source, hit=True, seconds=timing.seconds,
+                stage_seconds=dict(timing.clock.by_stage),
+            )
+
+        tried = 0
+        for patched in self._template_space(source):
+            if tried >= self.budget:
+                break
+            tried += 1
+            timing.clock.charge("rtlrepair", _SOLVE_SECONDS)
+            if self.linter.lint(patched).errors:
+                continue
+            candidate_result = testbench.run(patched, timing,
+                                             stage="rtlrepair")
+            if candidate_result.all_passed:
+                return BaselineOutcome(
+                    final_source=patched, hit=True, iterations=tried,
+                    seconds=timing.seconds,
+                    stage_seconds=dict(timing.clock.by_stage),
+                )
+        return BaselineOutcome(
+            final_source=source, hit=False, iterations=tried,
+            seconds=timing.seconds,
+            stage_seconds=dict(timing.clock.by_stage),
+        )
+
+    def _template_space(self, source):
+        """Enumerate the template parameter space, conditions first
+        (RTL-Repair's published strength)."""
+        lines = source.splitlines()
+        # Phase 1: condition literals and comparison operators.
+        for index, line in enumerate(lines):
+            if re.search(r"\b(if|while|case)\b", line) or "?" in line:
+                yield from self._line_edits(lines, index, line)
+        # Phase 2: every remaining assignment.
+        for index, line in enumerate(lines):
+            if "=" in line and not re.search(r"\b(if|while|case)\b", line):
+                yield from self._line_edits(lines, index, line)
+
+    def _line_edits(self, lines, index, line):
+        for match in _SIZED.finditer(line):
+            width = int(match.group(1))
+            base = match.group(2)
+            radix = {"b": 2, "d": 10, "h": 16}[base]
+            try:
+                value = int(match.group(3).replace("_", ""), radix)
+            except ValueError:
+                continue
+            top = (1 << width) - 1
+            for replacement in (value + 1, max(0, value - 1), 0, 1, top,
+                                value // 2, min(top, value * 2 + 1)):
+                if replacement == value or replacement > top:
+                    continue
+                rendered = {
+                    "b": f"{width}'b{replacement:b}",
+                    "d": f"{width}'d{replacement}",
+                    "h": f"{width}'h{replacement:x}",
+                }[base]
+                yield self._splice(
+                    lines, index,
+                    line[: match.start()] + rendered + line[match.end():],
+                )
+        for old, new in _OPS:
+            position = line.find(old)
+            if position >= 0:
+                window = line[max(0, position - 1): position + len(old) + 1]
+                if old in ("<", ">") and "=" in window:
+                    continue
+                yield self._splice(
+                    lines, index,
+                    line[:position] + new + line[position + len(old):],
+                )
+
+    @staticmethod
+    def _splice(lines, index, new_line):
+        copy = list(lines)
+        copy[index] = new_line
+        return "\n".join(copy) + "\n"

@@ -1,0 +1,30 @@
+"""The benchmark design suite: 27 modules across ten representative types.
+
+This package stands in for the RTLLM-derived dataset the paper evaluates
+on.  Each :class:`~repro.bench.registry.BenchmarkModule` bundles the
+golden Verilog, its natural-language specification, a cycle-accurate
+reference model, and the UVM harness configuration (drive protocol,
+stimulus ranges, compare signals).
+"""
+
+from repro.bench.registry import (
+    BenchmarkModule,
+    all_modules,
+    get_module,
+    module_names,
+    modules_by_category,
+    make_hr_sequence,
+    make_fr_sequence,
+    CATEGORIES,
+)
+
+__all__ = [
+    "BenchmarkModule",
+    "all_modules",
+    "get_module",
+    "module_names",
+    "modules_by_category",
+    "make_hr_sequence",
+    "make_fr_sequence",
+    "CATEGORIES",
+]

@@ -1,0 +1,902 @@
+"""Arithmetic benchmark designs (Table II group "Arithmetic").
+
+Nine designs: accumulator, ALU, three adders (combinational,
+hierarchical, pipelined), two multipliers (Booth, sequential shift-add),
+and two dividers (combinational restoring, sequential radix-2).
+"""
+
+from repro.bench.registry import BenchmarkModule, register
+from repro.refmodel.base import CombModel, ReferenceModel, mask, to_signed
+from repro.uvm.driver import DriveProtocol
+
+# ---------------------------------------------------------------------------
+# accu — serial accumulator
+# ---------------------------------------------------------------------------
+
+ACCU_SOURCE = """\
+module accu(
+    input clk,
+    input rst_n,
+    input [7:0] data_in,
+    input valid_in,
+    output reg valid_out,
+    output reg [9:0] data_out
+);
+    reg [9:0] sum;
+    reg [1:0] count;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            sum <= 10'b0;
+            count <= 2'b0;
+            valid_out <= 1'b0;
+            data_out <= 10'b0;
+        end else begin
+            if (valid_in) begin
+                if (count == 2'd3) begin
+                    data_out <= sum + data_in;
+                    valid_out <= 1'b1;
+                    sum <= 10'b0;
+                    count <= 2'b0;
+                end else begin
+                    sum <= sum + data_in;
+                    count <= count + 2'd1;
+                    valid_out <= 1'b0;
+                end
+            end else begin
+                valid_out <= 1'b0;
+            end
+        end
+    end
+endmodule
+"""
+
+ACCU_SPEC = """\
+Module name: accu
+Function: Serial input data accumulation. The module receives 8-bit
+unsigned data on data_in qualified by valid_in. After every fourth valid
+input, the module outputs the 10-bit sum of the last four inputs on
+data_out and pulses valid_out high for exactly one clock cycle. Between
+groups, valid_out stays low and data_out holds its previous value.
+An active-low asynchronous reset rst_n clears all state.
+Ports:
+  input clk            - clock
+  input rst_n          - asynchronous active-low reset
+  input [7:0] data_in  - input operand
+  input valid_in       - input qualifier
+  output valid_out     - one-cycle pulse when a group sum is produced
+  output [9:0] data_out - accumulated sum of 4 inputs
+"""
+
+
+class AccuModel(ReferenceModel):
+    """Golden model for ``accu``."""
+
+    def reset(self):
+        self.sum = 0
+        self.count = 0
+        self.valid_out = 0
+        self.data_out = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        elif inputs.get("valid_in"):
+            if self.count == 3:
+                self.data_out = (self.sum + inputs.get("data_in", 0)) & mask(10)
+                self.valid_out = 1
+                self.sum = 0
+                self.count = 0
+            else:
+                self.sum = (self.sum + inputs.get("data_in", 0)) & mask(10)
+                self.count += 1
+                self.valid_out = 0
+        else:
+            self.valid_out = 0
+        return {"valid_out": self.valid_out, "data_out": self.data_out}
+
+
+register(BenchmarkModule(
+    name="accu",
+    category="arithmetic",
+    type_tag="accumulator",
+    source=ACCU_SOURCE,
+    spec=ACCU_SPEC,
+    make_model=AccuModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"data_in": (0, 255), "valid_in": (0, 1)},
+    compare_signals=["valid_out", "data_out"],
+    hr_count=48,
+    fr_count=192,
+    complexity=1.3,
+))
+
+# ---------------------------------------------------------------------------
+# adder_8bit — combinational ripple adder
+# ---------------------------------------------------------------------------
+
+ADDER8_SOURCE = """\
+module adder_8bit(
+    input [7:0] a,
+    input [7:0] b,
+    input cin,
+    output [7:0] sum,
+    output cout
+);
+    assign {cout, sum} = a + b + cin;
+endmodule
+"""
+
+ADDER8_SPEC = """\
+Module name: adder_8bit
+Function: 8-bit combinational adder with carry-in and carry-out.
+sum = (a + b + cin) mod 256, cout is the carry out of bit 7.
+Ports:
+  input [7:0] a     - first operand
+  input [7:0] b     - second operand
+  input cin         - carry in
+  output [7:0] sum  - sum
+  output cout       - carry out
+"""
+
+
+class Adder8Model(CombModel):
+    """Golden model for ``adder_8bit``."""
+
+    def compute(self, inputs):
+        total = inputs.get("a", 0) + inputs.get("b", 0) + inputs.get("cin", 0)
+        return {"sum": total & mask(8), "cout": (total >> 8) & 1}
+
+
+register(BenchmarkModule(
+    name="adder_8bit",
+    category="arithmetic",
+    type_tag="adder",
+    source=ADDER8_SOURCE,
+    spec=ADDER8_SPEC,
+    make_model=Adder8Model,
+    protocol=DriveProtocol(clock=None, reset=None),
+    field_ranges={"a": (0, 255), "b": (0, 255), "cin": (0, 1)},
+    compare_signals=["sum", "cout"],
+    directed=[
+        {"a": 255, "b": 255, "cin": 1},
+        {"a": 255, "b": 1, "cin": 0},
+        {"a": 0, "b": 0, "cin": 0},
+        {"a": 128, "b": 128, "cin": 0},
+    ],
+    hr_count=32,
+    fr_count=128,
+    complexity=0.7,
+))
+
+# ---------------------------------------------------------------------------
+# adder_16bit — hierarchical adder built from two 8-bit slices
+# ---------------------------------------------------------------------------
+
+ADDER16_SOURCE = """\
+module adder_slice(
+    input [7:0] a,
+    input [7:0] b,
+    input cin,
+    output [7:0] sum,
+    output cout
+);
+    assign {cout, sum} = a + b + cin;
+endmodule
+
+module adder_16bit(
+    input [15:0] a,
+    input [15:0] b,
+    input cin,
+    output [15:0] sum,
+    output cout
+);
+    wire carry_mid;
+    adder_slice u_lo(
+        .a(a[7:0]), .b(b[7:0]), .cin(cin),
+        .sum(sum[7:0]), .cout(carry_mid)
+    );
+    adder_slice u_hi(
+        .a(a[15:8]), .b(b[15:8]), .cin(carry_mid),
+        .sum(sum[15:8]), .cout(cout)
+    );
+endmodule
+"""
+
+ADDER16_SPEC = """\
+Module name: adder_16bit
+Function: 16-bit adder with carry-in and carry-out, implemented
+hierarchically from two 8-bit adder_slice instances chained through an
+intermediate carry. sum = (a + b + cin) mod 65536, cout is the carry out
+of bit 15.
+Ports:
+  input [15:0] a     - first operand
+  input [15:0] b     - second operand
+  input cin          - carry in
+  output [15:0] sum  - sum
+  output cout        - carry out
+"""
+
+
+class Adder16Model(CombModel):
+    """Golden model for ``adder_16bit``."""
+
+    def compute(self, inputs):
+        total = inputs.get("a", 0) + inputs.get("b", 0) + inputs.get("cin", 0)
+        return {"sum": total & mask(16), "cout": (total >> 16) & 1}
+
+
+register(BenchmarkModule(
+    name="adder_16bit",
+    category="arithmetic",
+    type_tag="adder",
+    source=ADDER16_SOURCE,
+    spec=ADDER16_SPEC,
+    make_model=Adder16Model,
+    protocol=DriveProtocol(clock=None, reset=None),
+    field_ranges={"a": (0, 65535), "b": (0, 65535), "cin": (0, 1)},
+    compare_signals=["sum", "cout"],
+    directed=[
+        {"a": 0xFFFF, "b": 0xFFFF, "cin": 1},
+        {"a": 0x00FF, "b": 0x0001, "cin": 0},
+        {"a": 0xFF00, "b": 0x0100, "cin": 0},
+    ],
+    top="adder_16bit",
+    hr_count=32,
+    fr_count=128,
+    complexity=1.0,
+))
+
+# ---------------------------------------------------------------------------
+# adder_pipe — two-stage pipelined adder
+# ---------------------------------------------------------------------------
+
+ADDER_PIPE_SOURCE = """\
+module adder_pipe(
+    input clk,
+    input rst_n,
+    input en,
+    input [15:0] a,
+    input [15:0] b,
+    output reg [16:0] sum,
+    output reg valid
+);
+    reg [8:0] lo_r;
+    reg [7:0] a_hi_r;
+    reg [7:0] b_hi_r;
+    reg en_r;
+    wire [8:0] hi_sum;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            lo_r <= 9'b0;
+            a_hi_r <= 8'b0;
+            b_hi_r <= 8'b0;
+            en_r <= 1'b0;
+        end else begin
+            lo_r <= a[7:0] + b[7:0];
+            a_hi_r <= a[15:8];
+            b_hi_r <= b[15:8];
+            en_r <= en;
+        end
+    end
+    assign hi_sum = a_hi_r + b_hi_r + lo_r[8];
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            sum <= 17'b0;
+            valid <= 1'b0;
+        end else begin
+            sum <= {hi_sum, lo_r[7:0]};
+            valid <= en_r;
+        end
+    end
+endmodule
+"""
+
+ADDER_PIPE_SPEC = """\
+Module name: adder_pipe
+Function: Two-stage pipelined 16-bit adder. Stage 1 registers the low
+byte sum (with carry) and the high operand bytes; stage 2 combines them
+into a 17-bit result. The result for inputs applied in cycle N appears
+on sum in cycle N+2; valid delays en by two cycles. Asynchronous
+active-low reset clears the pipeline.
+Ports:
+  input clk          - clock
+  input rst_n        - asynchronous active-low reset
+  input en           - input valid
+  input [15:0] a     - first operand
+  input [15:0] b     - second operand
+  output [16:0] sum  - pipelined sum (2-cycle latency)
+  output valid       - en delayed by 2 cycles
+"""
+
+
+class AdderPipeModel(ReferenceModel):
+    """Golden model for ``adder_pipe`` (explicit 2-stage pipeline)."""
+
+    def reset(self):
+        self.lo_r = 0
+        self.a_hi_r = 0
+        self.b_hi_r = 0
+        self.en_r = 0
+        self.sum = 0
+        self.valid = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+            return {"sum": self.sum, "valid": self.valid}
+        hi_sum = (self.a_hi_r + self.b_hi_r + (self.lo_r >> 8)) & mask(9)
+        new_sum = ((hi_sum << 8) | (self.lo_r & mask(8))) & mask(17)
+        new_valid = self.en_r
+        a = inputs.get("a", 0)
+        b = inputs.get("b", 0)
+        self.lo_r = ((a & mask(8)) + (b & mask(8))) & mask(9)
+        self.a_hi_r = (a >> 8) & mask(8)
+        self.b_hi_r = (b >> 8) & mask(8)
+        self.en_r = inputs.get("en", 0) & 1
+        self.sum = new_sum
+        self.valid = new_valid
+        return {"sum": self.sum, "valid": self.valid}
+
+
+register(BenchmarkModule(
+    name="adder_pipe",
+    category="arithmetic",
+    type_tag="adder",
+    source=ADDER_PIPE_SOURCE,
+    spec=ADDER_PIPE_SPEC,
+    make_model=AdderPipeModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"a": (0, 65535), "b": (0, 65535), "en": (0, 1)},
+    compare_signals=["sum", "valid"],
+    hr_count=48,
+    fr_count=192,
+    complexity=1.2,
+))
+
+# ---------------------------------------------------------------------------
+# multi_booth — combinational radix-2 Booth multiplier (signed 8x8)
+# ---------------------------------------------------------------------------
+
+MULTI_BOOTH_SOURCE = """\
+module multi_booth(
+    input [7:0] a,
+    input [7:0] b,
+    output [15:0] p
+);
+    reg signed [15:0] acc;
+    reg prev;
+    integer i;
+    always @(*) begin
+        acc = 16'b0;
+        prev = 1'b0;
+        for (i = 0; i < 8; i = i + 1) begin
+            case ({b[i], prev})
+                2'b01: acc = acc + ($signed(a) <<< i);
+                2'b10: acc = acc - ($signed(a) <<< i);
+                default: acc = acc;
+            endcase
+            prev = b[i];
+        end
+    end
+    assign p = acc;
+endmodule
+"""
+
+MULTI_BOOTH_SPEC = """\
+Module name: multi_booth
+Function: Combinational radix-2 Booth-recoded multiplier for two 8-bit
+signed (two's complement) operands. p = (signed(a) * signed(b)) mod 2^16.
+The implementation scans multiplier bits LSB-first, adding or
+subtracting the sign-extended, shifted multiplicand according to the
+Booth encoding of adjacent bit pairs.
+Ports:
+  input [7:0] a   - signed multiplicand
+  input [7:0] b   - signed multiplier
+  output [15:0] p - signed product (two's complement, low 16 bits)
+"""
+
+
+class MultiBoothModel(CombModel):
+    """Golden model for ``multi_booth``."""
+
+    def compute(self, inputs):
+        a = to_signed(inputs.get("a", 0), 8)
+        b = to_signed(inputs.get("b", 0), 8)
+        return {"p": (a * b) & mask(16)}
+
+
+register(BenchmarkModule(
+    name="multi_booth",
+    category="arithmetic",
+    type_tag="multiplier",
+    source=MULTI_BOOTH_SOURCE,
+    spec=MULTI_BOOTH_SPEC,
+    make_model=MultiBoothModel,
+    protocol=DriveProtocol(clock=None, reset=None),
+    field_ranges={"a": (0, 255), "b": (0, 255)},
+    compare_signals=["p"],
+    directed=[
+        {"a": 0x80, "b": 0x80},   # -128 * -128
+        {"a": 0xFF, "b": 0x01},   # -1 * 1
+        {"a": 0x7F, "b": 0x7F},   # 127 * 127
+        {"a": 0x00, "b": 0xAB},
+    ],
+    hr_count=40,
+    fr_count=160,
+    complexity=1.5,
+))
+
+# ---------------------------------------------------------------------------
+# multi_pipe — sequential shift-add multiplier with start/done
+# ---------------------------------------------------------------------------
+
+MULTI_PIPE_SOURCE = """\
+module multi_pipe(
+    input clk,
+    input rst_n,
+    input start,
+    input [7:0] mc,
+    input [7:0] mp,
+    output reg [15:0] product,
+    output reg done
+);
+    reg [15:0] acc;
+    reg [15:0] mcand;
+    reg [7:0] mplier;
+    reg [3:0] count;
+    reg busy;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            acc <= 16'b0;
+            mcand <= 16'b0;
+            mplier <= 8'b0;
+            count <= 4'b0;
+            busy <= 1'b0;
+            done <= 1'b0;
+            product <= 16'b0;
+        end else begin
+            if (!busy) begin
+                done <= 1'b0;
+                if (start) begin
+                    acc <= 16'b0;
+                    mcand <= {8'b0, mc};
+                    mplier <= mp;
+                    count <= 4'd0;
+                    busy <= 1'b1;
+                end
+            end else begin
+                if (count == 4'd8) begin
+                    product <= acc;
+                    done <= 1'b1;
+                    busy <= 1'b0;
+                end else begin
+                    if (mplier[0])
+                        acc <= acc + mcand;
+                    mplier <= mplier >> 1;
+                    mcand <= mcand << 1;
+                    count <= count + 4'd1;
+                end
+            end
+        end
+    end
+endmodule
+"""
+
+MULTI_PIPE_SPEC = """\
+Module name: multi_pipe
+Function: Sequential shift-add multiplier for 8-bit unsigned operands.
+A start pulse (sampled while idle) captures mc and mp; the machine then
+iterates 8 shift-add steps and asserts done for one cycle with the
+16-bit product. While busy, start is ignored. done drops when a new
+operation starts or the cycle after idle resumes with start low.
+Asynchronous active-low reset clears all state.
+Ports:
+  input clk             - clock
+  input rst_n           - asynchronous active-low reset
+  input start           - start command (idle only)
+  input [7:0] mc        - multiplicand
+  input [7:0] mp        - multiplier
+  output [15:0] product - result, valid with done
+  output done           - one-cycle completion strobe
+"""
+
+
+class MultiPipeModel(ReferenceModel):
+    """Golden model for ``multi_pipe`` (cycle-accurate FSM mirror)."""
+
+    def reset(self):
+        self.acc = 0
+        self.mcand = 0
+        self.mplier = 0
+        self.count = 0
+        self.busy = 0
+        self.done = 0
+        self.product = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+            return {"product": self.product, "done": self.done}
+        if not self.busy:
+            self.done = 0
+            if inputs.get("start"):
+                self.acc = 0
+                self.mcand = inputs.get("mc", 0) & mask(8)
+                self.mplier = inputs.get("mp", 0) & mask(8)
+                self.count = 0
+                self.busy = 1
+        else:
+            if self.count == 8:
+                self.product = self.acc
+                self.done = 1
+                self.busy = 0
+            else:
+                if self.mplier & 1:
+                    self.acc = (self.acc + self.mcand) & mask(16)
+                self.mplier >>= 1
+                self.mcand = (self.mcand << 1) & mask(16)
+                self.count += 1
+        return {"product": self.product, "done": self.done}
+
+
+register(BenchmarkModule(
+    name="multi_pipe",
+    category="arithmetic",
+    type_tag="multiplier",
+    source=MULTI_PIPE_SOURCE,
+    spec=MULTI_PIPE_SPEC,
+    make_model=MultiPipeModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"start": (0, 1), "mc": (0, 255), "mp": (0, 255)},
+    compare_signals=["product", "done"],
+    hold_cycles=11,
+    hr_count=8,
+    fr_count=32,
+    complexity=1.7,
+))
+
+# ---------------------------------------------------------------------------
+# div_16bit — combinational restoring divider
+# ---------------------------------------------------------------------------
+
+DIV16_SOURCE = """\
+module div_16bit(
+    input [15:0] dividend,
+    input [7:0] divisor,
+    output reg [15:0] quotient,
+    output reg [15:0] remainder
+);
+    reg [23:0] rem;
+    integer i;
+    always @(*) begin
+        if (divisor == 8'd0) begin
+            quotient = 16'hffff;
+            remainder = 16'hffff;
+        end else begin
+            rem = 24'b0;
+            quotient = 16'b0;
+            for (i = 0; i < 16; i = i + 1) begin
+                rem = {rem[22:0], dividend[15 - i]};
+                if (rem >= {16'b0, divisor}) begin
+                    rem = rem - {16'b0, divisor};
+                    quotient[15 - i] = 1'b1;
+                end
+            end
+            remainder = rem[15:0];
+        end
+    end
+endmodule
+"""
+
+DIV16_SPEC = """\
+Module name: div_16bit
+Function: Combinational restoring divider. quotient = dividend / divisor
+and remainder = dividend % divisor for a 16-bit dividend and an 8-bit
+divisor, computed by 16 shift-subtract iterations. When divisor is zero
+both outputs are driven to 16'hffff.
+Ports:
+  input [15:0] dividend   - numerator
+  input [7:0] divisor     - denominator
+  output [15:0] quotient  - dividend / divisor (all-ones on divide by 0)
+  output [15:0] remainder - dividend % divisor (all-ones on divide by 0)
+"""
+
+
+class Div16Model(CombModel):
+    """Golden model for ``div_16bit``."""
+
+    def compute(self, inputs):
+        dividend = inputs.get("dividend", 0) & mask(16)
+        divisor = inputs.get("divisor", 0) & mask(8)
+        if divisor == 0:
+            return {"quotient": mask(16), "remainder": mask(16)}
+        return {
+            "quotient": dividend // divisor,
+            "remainder": dividend % divisor,
+        }
+
+
+register(BenchmarkModule(
+    name="div_16bit",
+    category="arithmetic",
+    type_tag="divider",
+    source=DIV16_SOURCE,
+    spec=DIV16_SPEC,
+    make_model=Div16Model,
+    protocol=DriveProtocol(clock=None, reset=None),
+    field_ranges={"dividend": (0, 65535), "divisor": (0, 255)},
+    compare_signals=["quotient", "remainder"],
+    directed=[
+        {"dividend": 65535, "divisor": 1},
+        {"dividend": 65535, "divisor": 255},
+        {"dividend": 0, "divisor": 7},
+        {"dividend": 1234, "divisor": 0},
+    ],
+    hr_count=32,
+    fr_count=128,
+    complexity=1.6,
+))
+
+# ---------------------------------------------------------------------------
+# radix2_div — sequential radix-2 divider with start/done
+# ---------------------------------------------------------------------------
+
+RADIX2_DIV_SOURCE = """\
+module radix2_div(
+    input clk,
+    input rst_n,
+    input start,
+    input [7:0] dividend,
+    input [7:0] divisor,
+    output reg [7:0] quotient,
+    output reg [7:0] remainder,
+    output reg done,
+    output reg dbz
+);
+    reg [7:0] quo;
+    reg [8:0] rem;
+    reg [7:0] dvd;
+    reg [3:0] count;
+    reg busy;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            quotient <= 8'b0;
+            remainder <= 8'b0;
+            done <= 1'b0;
+            dbz <= 1'b0;
+            quo <= 8'b0;
+            rem <= 9'b0;
+            dvd <= 8'b0;
+            count <= 4'b0;
+            busy <= 1'b0;
+        end else begin
+            if (!busy) begin
+                done <= 1'b0;
+                if (start) begin
+                    if (divisor == 8'b0) begin
+                        dbz <= 1'b1;
+                        done <= 1'b1;
+                        quotient <= 8'hff;
+                        remainder <= 8'hff;
+                    end else begin
+                        dbz <= 1'b0;
+                        rem <= 9'b0;
+                        dvd <= dividend;
+                        quo <= 8'b0;
+                        count <= 4'b0;
+                        busy <= 1'b1;
+                    end
+                end
+            end else begin
+                if (count == 4'd8) begin
+                    quotient <= quo;
+                    remainder <= rem[7:0];
+                    done <= 1'b1;
+                    busy <= 1'b0;
+                end else begin
+                    if ({rem[7:0], dvd[7]} >= {1'b0, divisor}) begin
+                        rem <= {rem[7:0], dvd[7]} - {1'b0, divisor};
+                        quo <= {quo[6:0], 1'b1};
+                    end else begin
+                        rem <= {rem[7:0], dvd[7]};
+                        quo <= {quo[6:0], 1'b0};
+                    end
+                    dvd <= {dvd[6:0], 1'b0};
+                    count <= count + 4'd1;
+                end
+            end
+        end
+    end
+endmodule
+"""
+
+RADIX2_DIV_SPEC = """\
+Module name: radix2_div
+Function: Sequential radix-2 restoring divider for 8-bit unsigned
+operands. A start pulse while idle captures the operands; after 8
+shift-subtract iterations done pulses for one cycle with quotient and
+remainder. A start with divisor == 0 responds in one cycle with
+done and dbz asserted and all-ones outputs. start is ignored while busy.
+Asynchronous active-low reset clears all state.
+Ports:
+  input clk              - clock
+  input rst_n            - asynchronous active-low reset
+  input start            - start command (idle only)
+  input [7:0] dividend   - numerator
+  input [7:0] divisor    - denominator
+  output [7:0] quotient  - result, valid with done
+  output [7:0] remainder - result, valid with done
+  output done            - one-cycle completion strobe
+  output dbz             - divide-by-zero flag
+"""
+
+
+class Radix2DivModel(ReferenceModel):
+    """Golden model for ``radix2_div`` (cycle-accurate FSM mirror)."""
+
+    def reset(self):
+        self.quotient = 0
+        self.remainder = 0
+        self.done = 0
+        self.dbz = 0
+        self.quo = 0
+        self.rem = 0
+        self.dvd = 0
+        self.count = 0
+        self.busy = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+            return self._outputs()
+        if not self.busy:
+            self.done = 0
+            if inputs.get("start"):
+                if (inputs.get("divisor", 0) & mask(8)) == 0:
+                    self.dbz = 1
+                    self.done = 1
+                    self.quotient = mask(8)
+                    self.remainder = mask(8)
+                else:
+                    self.dbz = 0
+                    self.rem = 0
+                    self.dvd = inputs.get("dividend", 0) & mask(8)
+                    self.quo = 0
+                    self.count = 0
+                    self.busy = 1
+        else:
+            if self.count == 8:
+                self.quotient = self.quo
+                self.remainder = self.rem & mask(8)
+                self.done = 1
+                self.busy = 0
+            else:
+                divisor = inputs.get("divisor", 0) & mask(8)
+                trial = (((self.rem & mask(8)) << 1) | (self.dvd >> 7)) & mask(9)
+                if trial >= divisor:
+                    self.rem = (trial - divisor) & mask(9)
+                    self.quo = ((self.quo << 1) | 1) & mask(8)
+                else:
+                    self.rem = trial
+                    self.quo = (self.quo << 1) & mask(8)
+                self.dvd = (self.dvd << 1) & mask(8)
+                self.count += 1
+        return self._outputs()
+
+    def _outputs(self):
+        return {
+            "quotient": self.quotient,
+            "remainder": self.remainder,
+            "done": self.done,
+            "dbz": self.dbz,
+        }
+
+
+register(BenchmarkModule(
+    name="radix2_div",
+    category="arithmetic",
+    type_tag="divider",
+    source=RADIX2_DIV_SOURCE,
+    spec=RADIX2_DIV_SPEC,
+    make_model=Radix2DivModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"start": (0, 1), "dividend": (0, 255), "divisor": (0, 255)},
+    compare_signals=["quotient", "remainder", "done", "dbz"],
+    hold_cycles=11,
+    hr_count=8,
+    fr_count=32,
+    complexity=1.9,
+))
+
+# ---------------------------------------------------------------------------
+# alu — combinational 8-bit ALU
+# ---------------------------------------------------------------------------
+
+ALU_SOURCE = """\
+module alu(
+    input [7:0] a,
+    input [7:0] b,
+    input [2:0] op,
+    output reg [7:0] result,
+    output zero
+);
+    always @(*) begin
+        case (op)
+            3'b000: result = a + b;
+            3'b001: result = a - b;
+            3'b010: result = a & b;
+            3'b011: result = a | b;
+            3'b100: result = a ^ b;
+            3'b101: result = a << b[2:0];
+            3'b110: result = a >> b[2:0];
+            default: result = (a < b) ? 8'd1 : 8'd0;
+        endcase
+    end
+    assign zero = (result == 8'b0);
+endmodule
+"""
+
+ALU_SPEC = """\
+Module name: alu
+Function: Combinational 8-bit ALU. op selects: 000 add, 001 subtract,
+010 and, 011 or, 100 xor, 101 logical shift left by b[2:0], 110 logical
+shift right by b[2:0], 111 set-less-than (unsigned, result 1 or 0).
+zero is high when result is zero.
+Ports:
+  input [7:0] a        - first operand
+  input [7:0] b        - second operand
+  input [2:0] op       - operation select
+  output [7:0] result  - operation result (mod 256)
+  output zero          - result == 0 flag
+"""
+
+
+class AluModel(CombModel):
+    """Golden model for ``alu``."""
+
+    def compute(self, inputs):
+        a = inputs.get("a", 0) & mask(8)
+        b = inputs.get("b", 0) & mask(8)
+        op = inputs.get("op", 0) & mask(3)
+        shift = b & 7
+        if op == 0:
+            result = a + b
+        elif op == 1:
+            result = a - b
+        elif op == 2:
+            result = a & b
+        elif op == 3:
+            result = a | b
+        elif op == 4:
+            result = a ^ b
+        elif op == 5:
+            result = a << shift
+        elif op == 6:
+            result = a >> shift
+        else:
+            result = 1 if a < b else 0
+        result &= mask(8)
+        return {"result": result, "zero": 1 if result == 0 else 0}
+
+
+register(BenchmarkModule(
+    name="alu",
+    category="arithmetic",
+    type_tag="accumulator",
+    source=ALU_SOURCE,
+    spec=ALU_SPEC,
+    make_model=AluModel,
+    protocol=DriveProtocol(clock=None, reset=None),
+    field_ranges={"a": (0, 255), "b": (0, 255), "op": (0, 7)},
+    compare_signals=["result", "zero"],
+    directed=[
+        {"a": 0, "b": 0, "op": 0},
+        {"a": 255, "b": 1, "op": 0},
+        {"a": 5, "b": 9, "op": 1},
+        {"a": 1, "b": 7, "op": 5},
+        {"a": 3, "b": 200, "op": 7},
+    ],
+    hr_count=48,
+    fr_count=192,
+    complexity=1.1,
+))

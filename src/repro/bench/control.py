@@ -1,0 +1,521 @@
+"""Control benchmark designs (counters and FSMs, Table II "Control")."""
+
+from repro.bench.registry import BenchmarkModule, register
+from repro.refmodel.base import ReferenceModel, mask
+from repro.uvm.driver import DriveProtocol
+
+# ---------------------------------------------------------------------------
+# counter_12 — modulo-12 counter with enable
+# ---------------------------------------------------------------------------
+
+COUNTER12_SOURCE = """\
+module counter_12(
+    input clk,
+    input rst_n,
+    input valid_count,
+    output reg [3:0] out
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            out <= 4'b0;
+        end else if (valid_count) begin
+            if (out == 4'd11)
+                out <= 4'b0;
+            else
+                out <= out + 4'd1;
+        end
+    end
+endmodule
+"""
+
+COUNTER12_SPEC = """\
+Module name: counter_12
+Function: Modulo-12 up counter. When valid_count is high at a clock
+edge the counter increments, wrapping from 11 back to 0. When
+valid_count is low the count holds. Asynchronous active-low reset
+clears the count to 0.
+Ports:
+  input clk          - clock
+  input rst_n        - asynchronous active-low reset
+  input valid_count  - count enable
+  output [3:0] out   - current count (0..11)
+"""
+
+
+class Counter12Model(ReferenceModel):
+    """Golden model for ``counter_12``."""
+
+    def reset(self):
+        self.out = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        elif inputs.get("valid_count"):
+            self.out = 0 if self.out == 11 else self.out + 1
+        return {"out": self.out}
+
+
+register(BenchmarkModule(
+    name="counter_12",
+    category="control",
+    type_tag="counter",
+    source=COUNTER12_SOURCE,
+    spec=COUNTER12_SPEC,
+    make_model=Counter12Model,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"valid_count": (0, 1)},
+    compare_signals=["out"],
+    hr_count=60,
+    fr_count=240,
+    complexity=0.8,
+))
+
+# ---------------------------------------------------------------------------
+# jc_counter — 4-bit Johnson counter
+# ---------------------------------------------------------------------------
+
+JC_COUNTER_SOURCE = """\
+module jc_counter(
+    input clk,
+    input rst_n,
+    output reg [3:0] q
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            q <= 4'b0;
+        else
+            q <= {~q[0], q[3:1]};
+    end
+endmodule
+"""
+
+JC_COUNTER_SPEC = """\
+Module name: jc_counter
+Function: 4-bit Johnson (twisted-ring) counter. Every clock cycle the
+register shifts right by one and the complement of the old LSB enters
+the MSB, producing the 8-state sequence 0000, 1000, 1100, 1110, 1111,
+0111, 0011, 0001, 0000, ... Asynchronous active-low reset clears q.
+Ports:
+  input clk       - clock
+  input rst_n     - asynchronous active-low reset
+  output [3:0] q  - Johnson counter state
+"""
+
+
+class JcCounterModel(ReferenceModel):
+    """Golden model for ``jc_counter``."""
+
+    def reset(self):
+        self.q = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        else:
+            self.q = (((~self.q) & 1) << 3) | (self.q >> 1)
+        return {"q": self.q}
+
+
+register(BenchmarkModule(
+    name="jc_counter",
+    category="control",
+    type_tag="counter",
+    source=JC_COUNTER_SOURCE,
+    spec=JC_COUNTER_SPEC,
+    make_model=JcCounterModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={},
+    compare_signals=["q"],
+    hr_count=40,
+    fr_count=160,
+    complexity=0.7,
+))
+
+# ---------------------------------------------------------------------------
+# freq_div — clock divider chain
+# ---------------------------------------------------------------------------
+
+FREQ_DIV_SOURCE = """\
+module freq_div(
+    input clk,
+    input rst_n,
+    input en,
+    output clk_div2,
+    output clk_div4,
+    output clk_div8
+);
+    reg [2:0] cnt;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            cnt <= 3'b0;
+        else if (en)
+            cnt <= cnt + 3'd1;
+    end
+    assign clk_div2 = cnt[0];
+    assign clk_div4 = cnt[1];
+    assign clk_div8 = cnt[2];
+endmodule
+"""
+
+FREQ_DIV_SPEC = """\
+Module name: freq_div
+Function: Frequency divider. A 3-bit counter increments on every
+enabled clock; its bits expose divide-by-2, divide-by-4 and divide-by-8
+versions of the clock (as level signals toggling at half/quarter/eighth
+rate). When en is low the counter holds. Asynchronous active-low reset
+clears the counter.
+Ports:
+  input clk        - clock
+  input rst_n      - asynchronous active-low reset
+  input en         - divider enable
+  output clk_div2  - counter bit 0 (clk / 2)
+  output clk_div4  - counter bit 1 (clk / 4)
+  output clk_div8  - counter bit 2 (clk / 8)
+"""
+
+
+class FreqDivModel(ReferenceModel):
+    """Golden model for ``freq_div``."""
+
+    def reset(self):
+        self.cnt = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        elif inputs.get("en"):
+            self.cnt = (self.cnt + 1) & mask(3)
+        return {
+            "clk_div2": self.cnt & 1,
+            "clk_div4": (self.cnt >> 1) & 1,
+            "clk_div8": (self.cnt >> 2) & 1,
+        }
+
+
+register(BenchmarkModule(
+    name="freq_div",
+    category="control",
+    type_tag="counter",
+    source=FREQ_DIV_SOURCE,
+    spec=FREQ_DIV_SPEC,
+    make_model=FreqDivModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"en": (0, 1)},
+    compare_signals=["clk_div2", "clk_div4", "clk_div8"],
+    hr_count=48,
+    fr_count=192,
+    complexity=0.8,
+))
+
+# ---------------------------------------------------------------------------
+# fsm_seq — overlapping "1011" sequence detector
+# ---------------------------------------------------------------------------
+
+FSM_SEQ_SOURCE = """\
+module fsm_seq(
+    input clk,
+    input rst_n,
+    input din,
+    output reg hit
+);
+    localparam S0 = 2'd0, S1 = 2'd1, S2 = 2'd2, S3 = 2'd3;
+    reg [1:0] state;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            state <= S0;
+            hit <= 1'b0;
+        end else begin
+            case (state)
+                S0: state <= din ? S1 : S0;
+                S1: state <= din ? S1 : S2;
+                S2: state <= din ? S3 : S0;
+                S3: state <= din ? S1 : S2;
+                default: state <= S0;
+            endcase
+            hit <= (state == S3) && din;
+        end
+    end
+endmodule
+"""
+
+FSM_SEQ_SPEC = """\
+Module name: fsm_seq
+Function: Moore-style overlapping sequence detector for the bit pattern
+1011 on the serial input din. One cycle after the final 1 of a match,
+hit pulses high for exactly one clock. Matches may overlap (the trailing
+1 of one match can start the next). States track the longest matched
+prefix: S0 = none, S1 = "1", S2 = "10", S3 = "101". Asynchronous
+active-low reset returns to S0 with hit low.
+Ports:
+  input clk    - clock
+  input rst_n  - asynchronous active-low reset
+  input din    - serial data in
+  output hit   - one-cycle pulse on each detected "1011"
+"""
+
+
+class FsmSeqModel(ReferenceModel):
+    """Golden model for ``fsm_seq``."""
+
+    def reset(self):
+        self.state = 0
+        self.hit = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        else:
+            din = inputs.get("din", 0) & 1
+            old = self.state
+            if old == 0:
+                self.state = 1 if din else 0
+            elif old == 1:
+                self.state = 1 if din else 2
+            elif old == 2:
+                self.state = 3 if din else 0
+            else:
+                self.state = 1 if din else 2
+            self.hit = 1 if (old == 3 and din) else 0
+        return {"hit": self.hit}
+
+
+register(BenchmarkModule(
+    name="fsm_seq",
+    category="control",
+    type_tag="fsm",
+    source=FSM_SEQ_SOURCE,
+    spec=FSM_SEQ_SPEC,
+    make_model=FsmSeqModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"din": (0, 1)},
+    compare_signals=["hit"],
+    hr_count=64,
+    fr_count=256,
+    complexity=2.0,
+))
+
+# ---------------------------------------------------------------------------
+# traffic_light — timed three-state FSM
+# ---------------------------------------------------------------------------
+
+TRAFFIC_LIGHT_SOURCE = """\
+module traffic_light(
+    input clk,
+    input rst_n,
+    input en,
+    output reg red,
+    output reg yellow,
+    output reg green
+);
+    localparam S_RED = 2'd0, S_GREEN = 2'd1, S_YELLOW = 2'd2;
+    localparam RED_T = 5'd8, GREEN_T = 5'd6, YELLOW_T = 5'd2;
+    reg [1:0] state;
+    reg [4:0] timer;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            state <= S_RED;
+            timer <= 5'd0;
+        end else if (en) begin
+            case (state)
+                S_RED:
+                    if (timer == RED_T - 5'd1) begin
+                        state <= S_GREEN;
+                        timer <= 5'd0;
+                    end else begin
+                        timer <= timer + 5'd1;
+                    end
+                S_GREEN:
+                    if (timer == GREEN_T - 5'd1) begin
+                        state <= S_YELLOW;
+                        timer <= 5'd0;
+                    end else begin
+                        timer <= timer + 5'd1;
+                    end
+                S_YELLOW:
+                    if (timer == YELLOW_T - 5'd1) begin
+                        state <= S_RED;
+                        timer <= 5'd0;
+                    end else begin
+                        timer <= timer + 5'd1;
+                    end
+                default: begin
+                    state <= S_RED;
+                    timer <= 5'd0;
+                end
+            endcase
+        end
+    end
+    always @(*) begin
+        red = (state == S_RED);
+        yellow = (state == S_YELLOW);
+        green = (state == S_GREEN);
+    end
+endmodule
+"""
+
+TRAFFIC_LIGHT_SPEC = """\
+Module name: traffic_light
+Function: Traffic light controller cycling red (8 enabled cycles) ->
+green (6 cycles) -> yellow (2 cycles) -> red ... A timer counts enabled
+clock cycles within each state; en low freezes the controller. Exactly
+one of red/yellow/green is high at any time (combinational decode of the
+state). Asynchronous active-low reset returns to red with the timer
+cleared.
+Ports:
+  input clk      - clock
+  input rst_n    - asynchronous active-low reset
+  input en       - advance enable
+  output red     - red lamp
+  output yellow  - yellow lamp
+  output green   - green lamp
+"""
+
+
+class TrafficLightModel(ReferenceModel):
+    """Golden model for ``traffic_light``."""
+
+    DURATION = {0: 8, 1: 6, 2: 2}  # state -> cycles
+    NEXT = {0: 1, 1: 2, 2: 0}
+
+    def reset(self):
+        self.state = 0
+        self.timer = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        elif inputs.get("en"):
+            if self.timer == self.DURATION[self.state] - 1:
+                self.state = self.NEXT[self.state]
+                self.timer = 0
+            else:
+                self.timer += 1
+        return {
+            "red": 1 if self.state == 0 else 0,
+            "green": 1 if self.state == 1 else 0,
+            "yellow": 1 if self.state == 2 else 0,
+        }
+
+
+register(BenchmarkModule(
+    name="traffic_light",
+    category="control",
+    type_tag="fsm",
+    source=TRAFFIC_LIGHT_SOURCE,
+    spec=TRAFFIC_LIGHT_SPEC,
+    make_model=TrafficLightModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"en": (0, 1)},
+    compare_signals=["red", "yellow", "green"],
+    hr_count=80,
+    fr_count=320,
+    complexity=1.8,
+))
+
+# ---------------------------------------------------------------------------
+# pulse_detect — exact 0-1-0 pulse detector
+# ---------------------------------------------------------------------------
+
+PULSE_DETECT_SOURCE = """\
+module pulse_detect(
+    input clk,
+    input rst_n,
+    input data_in,
+    output reg data_out
+);
+    reg [1:0] state;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            state <= 2'd0;
+            data_out <= 1'b0;
+        end else begin
+            case (state)
+                2'd0: begin
+                    data_out <= 1'b0;
+                    if (data_in)
+                        state <= 2'd1;
+                end
+                2'd1: begin
+                    if (!data_in) begin
+                        data_out <= 1'b1;
+                        state <= 2'd0;
+                    end else begin
+                        data_out <= 1'b0;
+                        state <= 2'd2;
+                    end
+                end
+                2'd2: begin
+                    data_out <= 1'b0;
+                    if (!data_in)
+                        state <= 2'd0;
+                end
+                default: begin
+                    data_out <= 1'b0;
+                    state <= 2'd0;
+                end
+            endcase
+        end
+    end
+endmodule
+"""
+
+PULSE_DETECT_SPEC = """\
+Module name: pulse_detect
+Function: Detects a single-cycle pulse (the exact pattern 0, 1, 0) on
+data_in. When the trailing 0 of such a pattern is sampled, data_out goes
+high for one cycle. Runs of two or more consecutive 1s are not pulses
+and produce no output. Asynchronous active-low reset returns to the
+idle (last-saw-0) state with data_out low.
+Ports:
+  input clk        - clock
+  input rst_n      - asynchronous active-low reset
+  input data_in    - serial input
+  output data_out  - one-cycle pulse per detected 0-1-0 pattern
+"""
+
+
+class PulseDetectModel(ReferenceModel):
+    """Golden model for ``pulse_detect``."""
+
+    def reset(self):
+        self.state = 0
+        self.data_out = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        else:
+            din = inputs.get("data_in", 0) & 1
+            if self.state == 0:
+                self.data_out = 0
+                if din:
+                    self.state = 1
+            elif self.state == 1:
+                if not din:
+                    self.data_out = 1
+                    self.state = 0
+                else:
+                    self.data_out = 0
+                    self.state = 2
+            else:
+                self.data_out = 0
+                if not din:
+                    self.state = 0
+        return {"data_out": self.data_out}
+
+
+register(BenchmarkModule(
+    name="pulse_detect",
+    category="control",
+    type_tag="fsm",
+    source=PULSE_DETECT_SOURCE,
+    spec=PULSE_DETECT_SPEC,
+    make_model=PulseDetectModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"data_in": (0, 1)},
+    compare_signals=["data_out"],
+    hr_count=64,
+    fr_count=256,
+    complexity=1.6,
+))

@@ -1,0 +1,357 @@
+"""Memory benchmark designs (Table II "Memory")."""
+
+from repro.bench.registry import BenchmarkModule, register
+from repro.refmodel.base import ReferenceModel, mask
+from repro.uvm.driver import DriveProtocol
+
+# ---------------------------------------------------------------------------
+# ram_sp — single-port synchronous RAM
+# ---------------------------------------------------------------------------
+
+RAM_SP_SOURCE = """\
+module ram_sp(
+    input clk,
+    input we,
+    input [3:0] addr,
+    input [7:0] wdata,
+    output reg [7:0] rdata
+);
+    reg [7:0] mem [0:15];
+    always @(posedge clk) begin
+        if (we)
+            mem[addr] <= wdata;
+        rdata <= mem[addr];
+    end
+endmodule
+"""
+
+RAM_SP_SPEC = """\
+Module name: ram_sp
+Function: 16x8 single-port synchronous RAM with read-before-write
+behaviour: on every clock edge rdata captures the old content of
+mem[addr], and if we is high the location is then updated with wdata.
+Unwritten locations are undefined. No reset.
+Ports:
+  input clk          - clock
+  input we           - write enable
+  input [3:0] addr   - shared read/write address
+  input [7:0] wdata  - write data
+  output [7:0] rdata - registered read data (old value on write)
+"""
+
+
+class RamSpModel(ReferenceModel):
+    """Golden model for ``ram_sp``.
+
+    Unwritten locations return ``None`` (don't-care), matching the
+    undefined contents of a real RAM.
+    """
+
+    def reset(self):
+        self.mem = {}
+        self.rdata = None
+
+    def step(self, inputs, reset=False):
+        addr = inputs.get("addr", 0) & mask(4)
+        self.rdata = self.mem.get(addr)
+        if inputs.get("we"):
+            self.mem[addr] = inputs.get("wdata", 0) & mask(8)
+        return {"rdata": self.rdata}
+
+
+register(BenchmarkModule(
+    name="ram_sp",
+    category="memory",
+    type_tag="memory",
+    source=RAM_SP_SOURCE,
+    spec=RAM_SP_SPEC,
+    make_model=RamSpModel,
+    protocol=DriveProtocol(clock="clk", reset=None),
+    field_ranges={"we": (0, 1), "addr": (0, 15), "wdata": (0, 255)},
+    compare_signals=["rdata"],
+    hr_count=64,
+    fr_count=256,
+    complexity=1.2,
+))
+
+# ---------------------------------------------------------------------------
+# ram_dp — simple dual-port RAM
+# ---------------------------------------------------------------------------
+
+RAM_DP_SOURCE = """\
+module ram_dp(
+    input clk,
+    input we,
+    input [3:0] waddr,
+    input [7:0] wdata,
+    input [3:0] raddr,
+    output reg [7:0] rdata
+);
+    reg [7:0] mem [0:15];
+    always @(posedge clk) begin
+        if (we)
+            mem[waddr] <= wdata;
+    end
+    always @(posedge clk) begin
+        rdata <= mem[raddr];
+    end
+endmodule
+"""
+
+RAM_DP_SPEC = """\
+Module name: ram_dp
+Function: 16x8 simple dual-port synchronous RAM: one write port, one
+read port, independent addresses. The read port registers the old
+content of mem[raddr] on every edge (write-first is NOT used: a
+simultaneous write to the same address is not visible until the next
+read). Unwritten locations are undefined. No reset.
+Ports:
+  input clk          - clock
+  input we           - write enable
+  input [3:0] waddr  - write address
+  input [7:0] wdata  - write data
+  input [3:0] raddr  - read address
+  output [7:0] rdata - registered read data
+"""
+
+
+class RamDpModel(ReferenceModel):
+    """Golden model for ``ram_dp``."""
+
+    def reset(self):
+        self.mem = {}
+        self.rdata = None
+
+    def step(self, inputs, reset=False):
+        raddr = inputs.get("raddr", 0) & mask(4)
+        self.rdata = self.mem.get(raddr)
+        if inputs.get("we"):
+            waddr = inputs.get("waddr", 0) & mask(4)
+            self.mem[waddr] = inputs.get("wdata", 0) & mask(8)
+        return {"rdata": self.rdata}
+
+
+register(BenchmarkModule(
+    name="ram_dp",
+    category="memory",
+    type_tag="memory",
+    source=RAM_DP_SOURCE,
+    spec=RAM_DP_SPEC,
+    make_model=RamDpModel,
+    protocol=DriveProtocol(clock="clk", reset=None),
+    field_ranges={
+        "we": (0, 1), "waddr": (0, 15), "wdata": (0, 255), "raddr": (0, 15),
+    },
+    compare_signals=["rdata"],
+    hr_count=64,
+    fr_count=256,
+    complexity=1.2,
+))
+
+# ---------------------------------------------------------------------------
+# sync_fifo — depth-8 synchronous FIFO
+# ---------------------------------------------------------------------------
+
+SYNC_FIFO_SOURCE = """\
+module sync_fifo(
+    input clk,
+    input rst_n,
+    input wr_en,
+    input rd_en,
+    input [7:0] din,
+    output [7:0] dout,
+    output full,
+    output empty,
+    output reg [3:0] count
+);
+    reg [7:0] mem [0:7];
+    reg [2:0] wptr;
+    reg [2:0] rptr;
+    assign full = (count == 4'd8);
+    assign empty = (count == 4'd0);
+    assign dout = mem[rptr];
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            wptr <= 3'b0;
+            rptr <= 3'b0;
+            count <= 4'b0;
+        end else begin
+            if (wr_en && !full) begin
+                mem[wptr] <= din;
+                wptr <= wptr + 3'd1;
+            end
+            if (rd_en && !empty) begin
+                rptr <= rptr + 3'd1;
+            end
+            case ({wr_en && !full, rd_en && !empty})
+                2'b10: count <= count + 4'd1;
+                2'b01: count <= count - 4'd1;
+                default: count <= count;
+            endcase
+        end
+    end
+endmodule
+"""
+
+SYNC_FIFO_SPEC = """\
+Module name: sync_fifo
+Function: Depth-8, 8-bit-wide synchronous show-ahead FIFO. dout always
+presents the word at the read pointer. A write (wr_en with not full)
+stores din and advances the write pointer; a read (rd_en with not
+empty) advances the read pointer. Simultaneous read+write keeps count
+unchanged. full = (count == 8), empty = (count == 0). Writes to a full
+FIFO and reads from an empty FIFO are ignored. Asynchronous active-low
+reset clears the pointers and count (memory contents are unspecified).
+Ports:
+  input clk          - clock
+  input rst_n        - asynchronous active-low reset
+  input wr_en        - write request
+  input rd_en        - read request
+  input [7:0] din    - write data
+  output [7:0] dout  - word at the head of the FIFO (show-ahead)
+  output full        - FIFO full flag
+  output empty       - FIFO empty flag
+  output [3:0] count - number of stored words (0..8)
+"""
+
+
+class SyncFifoModel(ReferenceModel):
+    """Golden model for ``sync_fifo`` (pointer-accurate, don't-care dout
+    for never-written slots)."""
+
+    def reset(self):
+        self.mem = [None] * 8
+        self.wptr = 0
+        self.rptr = 0
+        self.count = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.wptr = 0
+            self.rptr = 0
+            self.count = 0
+        else:
+            full = self.count == 8
+            empty = self.count == 0
+            do_write = bool(inputs.get("wr_en")) and not full
+            do_read = bool(inputs.get("rd_en")) and not empty
+            if do_write:
+                self.mem[self.wptr] = inputs.get("din", 0) & mask(8)
+                self.wptr = (self.wptr + 1) & mask(3)
+            if do_read:
+                self.rptr = (self.rptr + 1) & mask(3)
+            if do_write and not do_read:
+                self.count += 1
+            elif do_read and not do_write:
+                self.count -= 1
+        return {
+            "dout": self.mem[self.rptr],
+            "full": 1 if self.count == 8 else 0,
+            "empty": 1 if self.count == 0 else 0,
+            "count": self.count,
+        }
+
+
+register(BenchmarkModule(
+    name="sync_fifo",
+    category="memory",
+    type_tag="memory",
+    source=SYNC_FIFO_SOURCE,
+    spec=SYNC_FIFO_SPEC,
+    make_model=SyncFifoModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"wr_en": (0, 1), "rd_en": (0, 1), "din": (0, 255)},
+    compare_signals=["dout", "full", "empty", "count"],
+    hr_count=64,
+    fr_count=256,
+    complexity=1.6,
+))
+
+# ---------------------------------------------------------------------------
+# regfile — 8x8 register file with hardwired zero register
+# ---------------------------------------------------------------------------
+
+REGFILE_SOURCE = """\
+module regfile(
+    input clk,
+    input rst_n,
+    input we,
+    input [2:0] waddr,
+    input [7:0] wdata,
+    input [2:0] raddr1,
+    input [2:0] raddr2,
+    output [7:0] rdata1,
+    output [7:0] rdata2
+);
+    reg [7:0] regs [0:7];
+    integer i;
+    assign rdata1 = (raddr1 == 3'b0) ? 8'b0 : regs[raddr1];
+    assign rdata2 = (raddr2 == 3'b0) ? 8'b0 : regs[raddr2];
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            for (i = 0; i < 8; i = i + 1)
+                regs[i] <= 8'b0;
+        end else if (we && (waddr != 3'b0)) begin
+            regs[waddr] <= wdata;
+        end
+    end
+endmodule
+"""
+
+REGFILE_SPEC = """\
+Module name: regfile
+Function: 8-entry, 8-bit register file with two combinational read
+ports and one synchronous write port. Register 0 is hardwired to zero:
+reads of address 0 return 0 and writes to address 0 are ignored.
+Asynchronous active-low reset clears all registers.
+Ports:
+  input clk           - clock
+  input rst_n         - asynchronous active-low reset
+  input we            - write enable
+  input [2:0] waddr   - write address
+  input [7:0] wdata   - write data
+  input [2:0] raddr1  - read address 1
+  input [2:0] raddr2  - read address 2
+  output [7:0] rdata1 - read data 1 (combinational)
+  output [7:0] rdata2 - read data 2 (combinational)
+"""
+
+
+class RegfileModel(ReferenceModel):
+    """Golden model for ``regfile``."""
+
+    def reset(self):
+        self.regs = [0] * 8
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        elif inputs.get("we"):
+            waddr = inputs.get("waddr", 0) & mask(3)
+            if waddr != 0:
+                self.regs[waddr] = inputs.get("wdata", 0) & mask(8)
+        r1 = inputs.get("raddr1", 0) & mask(3)
+        r2 = inputs.get("raddr2", 0) & mask(3)
+        return {
+            "rdata1": 0 if r1 == 0 else self.regs[r1],
+            "rdata2": 0 if r2 == 0 else self.regs[r2],
+        }
+
+
+register(BenchmarkModule(
+    name="regfile",
+    category="memory",
+    type_tag="memory",
+    source=REGFILE_SOURCE,
+    spec=REGFILE_SPEC,
+    make_model=RegfileModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={
+        "we": (0, 1), "waddr": (0, 7), "wdata": (0, 255),
+        "raddr1": (0, 7), "raddr2": (0, 7),
+    },
+    compare_signals=["rdata1", "rdata2"],
+    hr_count=64,
+    fr_count=256,
+    complexity=1.3,
+))

@@ -1,0 +1,748 @@
+"""Miscellaneous benchmark designs (Table II "Miscellaneous"):
+serializers, width converters, shifters, synchronizers, generators and
+a scaled-down calendar.
+"""
+
+from repro.bench.registry import BenchmarkModule, register
+from repro.refmodel.base import ReferenceModel, mask
+from repro.uvm.driver import DriveProtocol
+
+# ---------------------------------------------------------------------------
+# edge_detect — rising/falling edge detector
+# ---------------------------------------------------------------------------
+
+EDGE_DETECT_SOURCE = """\
+module edge_detect(
+    input clk,
+    input rst_n,
+    input a,
+    output reg rise,
+    output reg down
+);
+    reg a_prev;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            a_prev <= 1'b0;
+            rise <= 1'b0;
+            down <= 1'b0;
+        end else begin
+            rise <= a && !a_prev;
+            down <= !a && a_prev;
+            a_prev <= a;
+        end
+    end
+endmodule
+"""
+
+EDGE_DETECT_SPEC = """\
+Module name: edge_detect
+Function: Synchronous edge detector for the slowly-changing input a.
+One cycle after a 0->1 transition of a, rise pulses high for one clock;
+one cycle after a 1->0 transition, down pulses. Both outputs are
+otherwise low. Asynchronous active-low reset clears the history (a is
+treated as having been 0).
+Ports:
+  input clk    - clock
+  input rst_n  - asynchronous active-low reset
+  input a      - input signal
+  output rise  - one-cycle pulse on rising edge of a
+  output down  - one-cycle pulse on falling edge of a
+"""
+
+
+class EdgeDetectModel(ReferenceModel):
+    """Golden model for ``edge_detect``."""
+
+    def reset(self):
+        self.a_prev = 0
+        self.rise = 0
+        self.down = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        else:
+            a = inputs.get("a", 0) & 1
+            self.rise = 1 if (a and not self.a_prev) else 0
+            self.down = 1 if (not a and self.a_prev) else 0
+            self.a_prev = a
+        return {"rise": self.rise, "down": self.down}
+
+
+register(BenchmarkModule(
+    name="edge_detect",
+    category="misc",
+    type_tag="shifter",
+    source=EDGE_DETECT_SOURCE,
+    spec=EDGE_DETECT_SPEC,
+    make_model=EdgeDetectModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"a": (0, 1)},
+    compare_signals=["rise", "down"],
+    hr_count=48,
+    fr_count=192,
+    complexity=0.9,
+))
+
+# ---------------------------------------------------------------------------
+# parallel2serial — 4-bit parallel-to-serial converter
+# ---------------------------------------------------------------------------
+
+P2S_SOURCE = """\
+module parallel2serial(
+    input clk,
+    input rst_n,
+    input [3:0] d,
+    output reg valid_out,
+    output reg dout
+);
+    reg [3:0] data;
+    reg [1:0] cnt;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            cnt <= 2'b0;
+            data <= 4'b0;
+            valid_out <= 1'b0;
+            dout <= 1'b0;
+        end else begin
+            if (cnt == 2'd0) begin
+                data <= d;
+                dout <= d[3];
+                valid_out <= 1'b1;
+                cnt <= 2'd1;
+            end else begin
+                dout <= data[2'd3 - cnt];
+                valid_out <= 1'b1;
+                cnt <= cnt + 2'd1;
+            end
+        end
+    end
+endmodule
+"""
+
+P2S_SPEC = """\
+Module name: parallel2serial
+Function: Converts 4-bit parallel words to a serial bit stream, MSB
+first. Every fourth cycle (cnt == 0) a new word is loaded from d and
+its MSB appears on dout; the following three cycles shift out bits 2,
+1, 0. valid_out is high whenever serial data is valid (always, once
+running). Asynchronous active-low reset clears the shift state and
+drops valid_out.
+Ports:
+  input clk         - clock
+  input rst_n       - asynchronous active-low reset
+  input [3:0] d     - parallel data (sampled when cnt wraps to 0)
+  output valid_out  - serial bit valid
+  output dout       - serial data, MSB first
+"""
+
+
+class P2sModel(ReferenceModel):
+    """Golden model for ``parallel2serial``."""
+
+    def reset(self):
+        self.cnt = 0
+        self.data = 0
+        self.valid_out = 0
+        self.dout = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        else:
+            if self.cnt == 0:
+                d = inputs.get("d", 0) & mask(4)
+                self.data = d
+                self.dout = (d >> 3) & 1
+                self.valid_out = 1
+                self.cnt = 1
+            else:
+                self.dout = (self.data >> (3 - self.cnt)) & 1
+                self.valid_out = 1
+                self.cnt = (self.cnt + 1) & 3
+        return {"valid_out": self.valid_out, "dout": self.dout}
+
+
+register(BenchmarkModule(
+    name="parallel2serial",
+    category="misc",
+    type_tag="serdes",
+    source=P2S_SOURCE,
+    spec=P2S_SPEC,
+    make_model=P2sModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"d": (0, 15)},
+    compare_signals=["valid_out", "dout"],
+    hr_count=48,
+    fr_count=192,
+    complexity=1.2,
+))
+
+# ---------------------------------------------------------------------------
+# serial2parallel — 8-bit serial-to-parallel converter
+# ---------------------------------------------------------------------------
+
+S2P_SOURCE = """\
+module serial2parallel(
+    input clk,
+    input rst_n,
+    input din_serial,
+    input din_valid,
+    output reg [7:0] dout_parallel,
+    output reg dout_valid
+);
+    reg [2:0] cnt;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            cnt <= 3'b0;
+            dout_parallel <= 8'b0;
+            dout_valid <= 1'b0;
+        end else if (din_valid) begin
+            dout_parallel <= {dout_parallel[6:0], din_serial};
+            if (cnt == 3'd7) begin
+                dout_valid <= 1'b1;
+                cnt <= 3'b0;
+            end else begin
+                dout_valid <= 1'b0;
+                cnt <= cnt + 3'd1;
+            end
+        end else begin
+            dout_valid <= 1'b0;
+        end
+    end
+endmodule
+"""
+
+S2P_SPEC = """\
+Module name: serial2parallel
+Function: Collects 8 serial bits (MSB first) qualified by din_valid into
+dout_parallel. When the 8th bit of a group is sampled, dout_valid goes
+high for one cycle and dout_parallel holds the completed byte. Cycles
+without din_valid do not advance the bit counter. Asynchronous
+active-low reset clears everything.
+Ports:
+  input clk              - clock
+  input rst_n            - asynchronous active-low reset
+  input din_serial       - serial data in
+  input din_valid        - serial bit qualifier
+  output [7:0] dout_parallel - assembled byte (shift register)
+  output dout_valid      - one-cycle pulse per completed byte
+"""
+
+
+class S2pModel(ReferenceModel):
+    """Golden model for ``serial2parallel``."""
+
+    def reset(self):
+        self.cnt = 0
+        self.dout_parallel = 0
+        self.dout_valid = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        elif inputs.get("din_valid"):
+            bit = inputs.get("din_serial", 0) & 1
+            self.dout_parallel = ((self.dout_parallel << 1) | bit) & mask(8)
+            if self.cnt == 7:
+                self.dout_valid = 1
+                self.cnt = 0
+            else:
+                self.dout_valid = 0
+                self.cnt += 1
+        else:
+            self.dout_valid = 0
+        return {
+            "dout_parallel": self.dout_parallel,
+            "dout_valid": self.dout_valid,
+        }
+
+
+register(BenchmarkModule(
+    name="serial2parallel",
+    category="misc",
+    type_tag="serdes",
+    source=S2P_SOURCE,
+    spec=S2P_SPEC,
+    make_model=S2pModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"din_serial": (0, 1), "din_valid": (0, 1)},
+    compare_signals=["dout_parallel", "dout_valid"],
+    hr_count=64,
+    fr_count=256,
+    complexity=1.2,
+))
+
+# ---------------------------------------------------------------------------
+# width_8to16 — width upconverter
+# ---------------------------------------------------------------------------
+
+W8TO16_SOURCE = """\
+module width_8to16(
+    input clk,
+    input rst_n,
+    input valid_in,
+    input [7:0] data_in,
+    output reg valid_out,
+    output reg [15:0] data_out
+);
+    reg [7:0] data_lock;
+    reg flag;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            data_lock <= 8'b0;
+            flag <= 1'b0;
+            valid_out <= 1'b0;
+            data_out <= 16'b0;
+        end else begin
+            if (valid_in) begin
+                if (!flag) begin
+                    data_lock <= data_in;
+                    flag <= 1'b1;
+                    valid_out <= 1'b0;
+                end else begin
+                    data_out <= {data_lock, data_in};
+                    valid_out <= 1'b1;
+                    flag <= 1'b0;
+                end
+            end else begin
+                valid_out <= 1'b0;
+            end
+        end
+    end
+endmodule
+"""
+
+W8TO16_SPEC = """\
+Module name: width_8to16
+Function: Pairs consecutive valid 8-bit inputs into one 16-bit output.
+The first valid byte of a pair is latched; when the second arrives,
+data_out presents {first, second} and valid_out pulses for one cycle.
+Invalid cycles do not disturb a half-collected pair. Asynchronous
+active-low reset clears the pairing state.
+Ports:
+  input clk            - clock
+  input rst_n          - asynchronous active-low reset
+  input valid_in       - input byte qualifier
+  input [7:0] data_in  - input byte
+  output valid_out     - one-cycle pulse per completed pair
+  output [15:0] data_out - {first byte, second byte}
+"""
+
+
+class W8to16Model(ReferenceModel):
+    """Golden model for ``width_8to16``."""
+
+    def reset(self):
+        self.data_lock = 0
+        self.flag = 0
+        self.valid_out = 0
+        self.data_out = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        elif inputs.get("valid_in"):
+            byte = inputs.get("data_in", 0) & mask(8)
+            if not self.flag:
+                self.data_lock = byte
+                self.flag = 1
+                self.valid_out = 0
+            else:
+                self.data_out = (self.data_lock << 8) | byte
+                self.valid_out = 1
+                self.flag = 0
+        else:
+            self.valid_out = 0
+        return {"valid_out": self.valid_out, "data_out": self.data_out}
+
+
+register(BenchmarkModule(
+    name="width_8to16",
+    category="misc",
+    type_tag="serdes",
+    source=W8TO16_SOURCE,
+    spec=W8TO16_SPEC,
+    make_model=W8to16Model,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"valid_in": (0, 1), "data_in": (0, 255)},
+    compare_signals=["valid_out", "data_out"],
+    hr_count=48,
+    fr_count=192,
+    complexity=1.1,
+))
+
+# ---------------------------------------------------------------------------
+# right_shifter — serial-in shift register
+# ---------------------------------------------------------------------------
+
+RIGHT_SHIFTER_SOURCE = """\
+module right_shifter(
+    input clk,
+    input rst_n,
+    input d,
+    output reg [7:0] q
+);
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            q <= 8'b0;
+        else
+            q <= {d, q[7:1]};
+    end
+endmodule
+"""
+
+RIGHT_SHIFTER_SPEC = """\
+Module name: right_shifter
+Function: 8-bit right shift register. Every clock cycle q shifts right
+by one position; the serial input d enters at the MSB (bit 7) and bit 0
+is discarded. Asynchronous active-low reset clears q.
+Ports:
+  input clk       - clock
+  input rst_n     - asynchronous active-low reset
+  input d         - serial input (enters at MSB)
+  output [7:0] q  - shift register contents
+"""
+
+
+class RightShifterModel(ReferenceModel):
+    """Golden model for ``right_shifter``."""
+
+    def reset(self):
+        self.q = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        else:
+            d = inputs.get("d", 0) & 1
+            self.q = ((d << 7) | (self.q >> 1)) & mask(8)
+        return {"q": self.q}
+
+
+register(BenchmarkModule(
+    name="right_shifter",
+    category="misc",
+    type_tag="shifter",
+    source=RIGHT_SHIFTER_SOURCE,
+    spec=RIGHT_SHIFTER_SPEC,
+    make_model=RightShifterModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"d": (0, 1)},
+    compare_signals=["q"],
+    hr_count=40,
+    fr_count=160,
+    complexity=0.7,
+))
+
+# ---------------------------------------------------------------------------
+# synchronizer — two-stage mux synchronizer
+# ---------------------------------------------------------------------------
+
+SYNCHRONIZER_SOURCE = """\
+module synchronizer(
+    input clk,
+    input rst_n,
+    input [3:0] data_in,
+    input data_en,
+    output reg [3:0] dataout
+);
+    reg [3:0] data_stage1;
+    reg en_stage1;
+    reg en_stage2;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            data_stage1 <= 4'b0;
+            en_stage1 <= 1'b0;
+            en_stage2 <= 1'b0;
+            dataout <= 4'b0;
+        end else begin
+            data_stage1 <= data_in;
+            en_stage1 <= data_en;
+            en_stage2 <= en_stage1;
+            if (en_stage2)
+                dataout <= data_stage1;
+        end
+    end
+endmodule
+"""
+
+SYNCHRONIZER_SPEC = """\
+Module name: synchronizer
+Function: Mux-style data synchronizer. data_in and data_en are staged
+through registers; when the twice-delayed enable (en_stage2) is high,
+dataout captures the once-delayed data (data_stage1), otherwise dataout
+holds. The enable condition uses the pre-edge value of en_stage2.
+Asynchronous active-low reset clears all stages.
+Ports:
+  input clk            - clock
+  input rst_n          - asynchronous active-low reset
+  input [3:0] data_in  - asynchronous data
+  input data_en        - data enable
+  output [3:0] dataout - synchronized data
+"""
+
+
+class SynchronizerModel(ReferenceModel):
+    """Golden model for ``synchronizer``."""
+
+    def reset(self):
+        self.data_stage1 = 0
+        self.en_stage1 = 0
+        self.en_stage2 = 0
+        self.dataout = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        else:
+            if self.en_stage2:
+                new_out = self.data_stage1
+            else:
+                new_out = self.dataout
+            self.en_stage2 = self.en_stage1
+            self.en_stage1 = inputs.get("data_en", 0) & 1
+            self.data_stage1 = inputs.get("data_in", 0) & mask(4)
+            self.dataout = new_out
+        return {"dataout": self.dataout}
+
+
+register(BenchmarkModule(
+    name="synchronizer",
+    category="misc",
+    type_tag="shifter",
+    source=SYNCHRONIZER_SOURCE,
+    spec=SYNCHRONIZER_SPEC,
+    make_model=SynchronizerModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"data_in": (0, 15), "data_en": (0, 1)},
+    compare_signals=["dataout"],
+    hr_count=48,
+    fr_count=192,
+    complexity=1.0,
+))
+
+# ---------------------------------------------------------------------------
+# signal_generator — multi-mode waveform generator
+# ---------------------------------------------------------------------------
+
+SIGNAL_GEN_SOURCE = """\
+module signal_generator(
+    input clk,
+    input rst_n,
+    input [1:0] mode,
+    output reg [4:0] wave
+);
+    reg dir;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n) begin
+            wave <= 5'b0;
+            dir <= 1'b0;
+        end else begin
+            case (mode)
+                2'd0: begin
+                    if (!dir) begin
+                        if (wave == 5'd31) begin
+                            dir <= 1'b1;
+                            wave <= 5'd30;
+                        end else begin
+                            wave <= wave + 5'd1;
+                        end
+                    end else begin
+                        if (wave == 5'd0) begin
+                            dir <= 1'b0;
+                            wave <= 5'd1;
+                        end else begin
+                            wave <= wave - 5'd1;
+                        end
+                    end
+                end
+                2'd1: begin
+                    wave <= wave + 5'd1;
+                    dir <= 1'b0;
+                end
+                2'd2: begin
+                    dir <= ~dir;
+                    wave <= dir ? 5'd0 : 5'd31;
+                end
+                default: begin
+                    wave <= 5'b0;
+                    dir <= 1'b0;
+                end
+            endcase
+        end
+    end
+endmodule
+"""
+
+SIGNAL_GEN_SPEC = """\
+Module name: signal_generator
+Function: Waveform generator with mode select. mode 0: triangle wave
+ramping 0..31..0 (dir tracks the ramp direction); mode 1: sawtooth
+(free-running increment, dir forced 0); mode 2: square wave alternating
+31 and 0 each cycle (wave gets 31 when the pre-edge dir is 0, 0 when it
+is 1, while dir toggles); mode 3: output held at 0. Asynchronous
+active-low reset clears wave and dir.
+Ports:
+  input clk         - clock
+  input rst_n       - asynchronous active-low reset
+  input [1:0] mode  - waveform select
+  output [4:0] wave - generated waveform
+"""
+
+
+class SignalGeneratorModel(ReferenceModel):
+    """Golden model for ``signal_generator``."""
+
+    def reset(self):
+        self.wave = 0
+        self.dir = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        else:
+            mode = inputs.get("mode", 0) & 3
+            if mode == 0:
+                if not self.dir:
+                    if self.wave == 31:
+                        self.dir = 1
+                        self.wave = 30
+                    else:
+                        self.wave += 1
+                else:
+                    if self.wave == 0:
+                        self.dir = 0
+                        self.wave = 1
+                    else:
+                        self.wave -= 1
+            elif mode == 1:
+                self.wave = (self.wave + 1) & mask(5)
+                self.dir = 0
+            elif mode == 2:
+                old_dir = self.dir
+                self.dir = old_dir ^ 1
+                self.wave = 0 if old_dir else 31
+            else:
+                self.wave = 0
+                self.dir = 0
+        return {"wave": self.wave}
+
+
+register(BenchmarkModule(
+    name="signal_generator",
+    category="misc",
+    type_tag="generator",
+    source=SIGNAL_GEN_SOURCE,
+    spec=SIGNAL_GEN_SPEC,
+    make_model=SignalGeneratorModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={"mode": [0, 0, 0, 1, 2, 3]},
+    compare_signals=["wave"],
+    hr_count=80,
+    fr_count=320,
+    complexity=1.4,
+))
+
+# ---------------------------------------------------------------------------
+# calendar — scaled-down seconds/minutes/hours cascade
+# ---------------------------------------------------------------------------
+
+CALENDAR_SOURCE = """\
+module calendar(
+    input clk,
+    input rst_n,
+    output reg [2:0] secs,
+    output reg [2:0] mins,
+    output reg [1:0] hours
+);
+    localparam SEC_MAX = 3'd5;
+    localparam MIN_MAX = 3'd5;
+    localparam HOUR_MAX = 2'd3;
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            secs <= 3'd0;
+        else if (secs == SEC_MAX)
+            secs <= 3'd0;
+        else
+            secs <= secs + 3'd1;
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            mins <= 3'd0;
+        else if (secs == SEC_MAX) begin
+            if (mins == MIN_MAX)
+                mins <= 3'd0;
+            else
+                mins <= mins + 3'd1;
+        end
+    end
+    always @(posedge clk or negedge rst_n) begin
+        if (!rst_n)
+            hours <= 2'd0;
+        else if (secs == SEC_MAX && mins == MIN_MAX) begin
+            if (hours == HOUR_MAX)
+                hours <= 2'd0;
+            else
+                hours <= hours + 2'd1;
+        end
+    end
+endmodule
+"""
+
+CALENDAR_SPEC = """\
+Module name: calendar
+Function: Scaled-down calendar (perpetual counter cascade). secs counts
+0..5 every clock; when secs is at its maximum (5) the next edge wraps it
+and increments mins (0..5); when both secs and mins are at maximum,
+hours increments (0..3, wrapping). Each field wraps independently at
+its maximum. Asynchronous active-low reset clears all three fields.
+Ports:
+  input clk          - clock
+  input rst_n        - asynchronous active-low reset
+  output [2:0] secs  - seconds field (0..5)
+  output [2:0] mins  - minutes field (0..5)
+  output [1:0] hours - hours field (0..3)
+"""
+
+
+class CalendarModel(ReferenceModel):
+    """Golden model for ``calendar``."""
+
+    SEC_MAX = 5
+    MIN_MAX = 5
+    HOUR_MAX = 3
+
+    def reset(self):
+        self.secs = 0
+        self.mins = 0
+        self.hours = 0
+
+    def step(self, inputs, reset=False):
+        if reset:
+            self.reset()
+        else:
+            sec_wrap = self.secs == self.SEC_MAX
+            min_wrap = self.mins == self.MIN_MAX
+            if sec_wrap and min_wrap:
+                self.hours = 0 if self.hours == self.HOUR_MAX else self.hours + 1
+            if sec_wrap:
+                self.mins = 0 if min_wrap else self.mins + 1
+            self.secs = 0 if sec_wrap else self.secs + 1
+        return {"secs": self.secs, "mins": self.mins, "hours": self.hours}
+
+
+register(BenchmarkModule(
+    name="calendar",
+    category="misc",
+    type_tag="generator",
+    source=CALENDAR_SOURCE,
+    spec=CALENDAR_SPEC,
+    make_model=CalendarModel,
+    protocol=DriveProtocol(clock="clk", reset="rst_n"),
+    field_ranges={},
+    compare_signals=["secs", "mins", "hours"],
+    hr_count=160,
+    fr_count=400,
+    complexity=1.3,
+))

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+- ``verify <file.v> --bench <name>`` — run the UVLLM pipeline on a DUT
+  file against a registered benchmark harness;
+- ``lint <file.v>`` — Verilator-style lint report;
+- ``bench-list`` — list the registered benchmark designs;
+- ``inject <name>`` — print a mutated (buggy) copy of a benchmark;
+- ``simulate <file.v> --vcd out.vcd`` — elaborate, run the benchmark
+  stimulus, dump a VCD.
+"""
+
+import argparse
+import sys
+
+from repro.bench.registry import all_modules, get_module, make_hr_sequence
+from repro.core.config import UVLLMConfig
+from repro.core.framework import UVLLM
+from repro.lint.linter import Linter
+from repro.llm.mock import MockLLM
+
+
+def _cmd_lint(args):
+    with open(args.file) as handle:
+        source = handle.read()
+    report = Linter().lint(source)
+    print(report.format(filename=args.file))
+    return 1 if report.errors else 0
+
+
+def _cmd_bench_list(args):
+    print(f"{'name':<18}{'category':<12}{'type':<12}{'ports'}")
+    for bench in all_modules():
+        ports = ", ".join(bench.compare_signals)
+        print(f"{bench.name:<18}{bench.category:<12}"
+              f"{bench.type_tag:<12}{ports}")
+    return 0
+
+
+def _cmd_verify(args):
+    bench = get_module(args.bench)
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.file) as handle:
+            source = handle.read()
+    llm = MockLLM(seed=args.seed)
+    config = UVLLMConfig(
+        max_iterations=args.max_iterations,
+        ms_iterations=args.ms_iterations,
+        patch_form=args.patch_form,
+    )
+    outcome = UVLLM(llm, config).verify_and_repair(source, bench)
+    print(f"hit        : {outcome.hit}")
+    print(f"stage      : {outcome.stage}")
+    print(f"iterations : {outcome.iterations}")
+    print(f"time (mod.): {outcome.seconds:.2f}s")
+    print(f"llm calls  : {outcome.llm_calls} (${outcome.cost_usd:.4f})")
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(outcome.final_source)
+        print(f"repaired source written to {args.output}")
+    elif args.show:
+        print("---")
+        print(outcome.final_source)
+    return 0 if outcome.hit else 1
+
+
+def _cmd_inject(args):
+    from repro.errgen.generator import generate_for_module
+
+    bench = get_module(args.name)
+    instances = generate_for_module(
+        bench, per_operator=1, seed=args.seed
+    )
+    wanted = [
+        inst for inst in instances
+        if args.operator is None or inst.operator == args.operator
+    ]
+    if not wanted:
+        print(f"no applicable mutation (operator={args.operator})",
+              file=sys.stderr)
+        return 1
+    instance = wanted[0]
+    print(f"// {instance.instance_id}: {instance.description}",
+          file=sys.stderr)
+    print(instance.buggy_source)
+    return 0
+
+
+def _cmd_simulate(args):
+    from repro.sim.vcd import dump_simulator
+    from repro.uvm.test import run_uvm_test
+
+    bench = get_module(args.bench)
+    if args.file:
+        with open(args.file) as handle:
+            source = handle.read()
+    else:
+        source = bench.source
+    result = run_uvm_test(
+        source, make_hr_sequence(bench), bench.protocol, bench.model(),
+        bench.compare_signals, top=bench.top,
+    )
+    print(f"ok={result.ok} pass_rate={result.pass_rate:.2%} "
+          f"checked={result.checked} coverage={result.coverage:.2%}")
+    for entry in result.log.mismatches()[:5]:
+        print(entry.format())
+    if args.vcd and result.simulator is not None:
+        dump_simulator(result.simulator, path=args.vcd)
+        print(f"waveform written to {args.vcd}")
+    return 0 if result.all_passed else 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UVLLM reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="lint a Verilog file")
+    lint.add_argument("file")
+    lint.set_defaults(func=_cmd_lint)
+
+    bench_list = sub.add_parser("bench-list", help="list benchmarks")
+    bench_list.set_defaults(func=_cmd_bench_list)
+
+    verify = sub.add_parser("verify", help="run UVLLM on a DUT")
+    verify.add_argument("file", help="Verilog file ('-' for stdin)")
+    verify.add_argument("--bench", required=True,
+                        help="benchmark harness name")
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument("--max-iterations", type=int, default=5)
+    verify.add_argument("--ms-iterations", type=int, default=2)
+    verify.add_argument("--patch-form", choices=("pair", "complete"),
+                        default="pair")
+    verify.add_argument("--output", help="write repaired source here")
+    verify.add_argument("--show", action="store_true",
+                        help="print repaired source")
+    verify.set_defaults(func=_cmd_verify)
+
+    inject = sub.add_parser("inject", help="print a mutated benchmark")
+    inject.add_argument("name")
+    inject.add_argument("--operator", default=None)
+    inject.add_argument("--seed", type=int, default=0)
+    inject.set_defaults(func=_cmd_inject)
+
+    simulate = sub.add_parser("simulate", help="run the UVM testbench")
+    simulate.add_argument("--bench", required=True)
+    simulate.add_argument("--file", default=None,
+                          help="DUT file (defaults to the golden source)")
+    simulate.add_argument("--vcd", default=None, help="VCD output path")
+    simulate.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""UVLLM core: the four-stage verify-and-repair pipeline of Fig. 2.
+
+:class:`UVLLM` orchestrates pre-processing (Algorithm 1), UVM
+processing, post-processing localization (Algorithm 2), and the repair
+agent, with the pass-rate-keyed rollback mechanism in between
+iterations.
+"""
+
+from repro.core.config import UVLLMConfig
+from repro.core.patches import PatchError, apply_pairs
+from repro.core.preprocess import PreprocessReport, Preprocessor
+from repro.core.repair import RepairAgent, RepairProposal
+from repro.core.rollback import ScoreRegister
+from repro.core.framework import UVLLM, VerificationOutcome
+
+__all__ = [
+    "UVLLMConfig",
+    "PatchError",
+    "apply_pairs",
+    "PreprocessReport",
+    "Preprocessor",
+    "RepairAgent",
+    "RepairProposal",
+    "ScoreRegister",
+    "UVLLM",
+    "VerificationOutcome",
+]

@@ -1,0 +1,66 @@
+"""Patch application: original/patched pair lists onto source text.
+
+The repair agent's structured output quotes exact DUT lines; application
+replaces the first match (exact first, then whitespace-insensitive), so
+formatting noise from the LLM does not break the pipeline.
+"""
+
+
+class PatchError(Exception):
+    """A pair's original text could not be located in the source."""
+
+
+def _replace_line(lines, original, patched):
+    target = original.rstrip("\n")
+    for index, line in enumerate(lines):
+        if line == target:
+            lines[index] = patched
+            return True
+    stripped_target = target.strip()
+    if not stripped_target:
+        return False
+    for index, line in enumerate(lines):
+        if line.strip() == stripped_target:
+            indent = line[: len(line) - len(line.lstrip())]
+            lines[index] = indent + patched.strip()
+            return True
+    # Fragment fallback: the model quoted a sub-expression rather than a
+    # whole line (common with real LLMs); replace the first occurrence.
+    for index, line in enumerate(lines):
+        if stripped_target in line:
+            lines[index] = line.replace(stripped_target, patched.strip(), 1)
+            return True
+    return False
+
+
+def apply_pairs(source, pairs, strict=False):
+    """Apply original→patched pairs; returns (new_source, applied_count).
+
+    Empty-original pairs append their patched text (declaration or
+    ``endmodule`` insertions).  With ``strict`` a miss raises
+    :class:`PatchError`; otherwise misses are skipped, mirroring how the
+    framework tolerates slightly-off LLM quotes.
+    """
+    lines = source.splitlines()
+    applied = 0
+    for pair in pairs:
+        if len(pair) < 2:
+            continue
+        original, patched = pair[0], pair[1]
+        if not original.strip():
+            if patched.strip():
+                lines.append(patched)
+                applied += 1
+            continue
+        if "\n" in original:
+            joined = "\n".join(lines)
+            if original in joined:
+                joined = joined.replace(original, patched, 1)
+                lines = joined.splitlines()
+                applied += 1
+                continue
+        if _replace_line(lines, original, patched):
+            applied += 1
+        elif strict:
+            raise PatchError(f"original text not found: {original!r}")
+    return "\n".join(lines) + "\n", applied

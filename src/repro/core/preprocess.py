@@ -1,0 +1,94 @@
+"""Pre-processing stage: joint LLM-script linting loop (Algorithm 1).
+
+The loop matches the paper line by line: lint; if *errors*, ask the LLM
+for syntax fixes; else if focused *warnings*, apply the scripted
+templates; repeat until clean (or the iteration bound).
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.patches import apply_pairs
+from repro.lint import FIXABLE_WARNINGS, apply_warning_templates
+from repro.lint.linter import Linter
+from repro.llm.prompts import build_syntax_prompt
+from repro.llm.schema import (
+    REPAIR_SCHEMA,
+    SchemaValidationError,
+    parse_structured_response,
+)
+
+
+@dataclass
+class PreprocessReport:
+    """What Algorithm 1 did to one DUT."""
+
+    iterations: int = 0
+    llm_calls: int = 0
+    template_fixes: int = 0
+    clean: bool = False
+    had_syntax_errors: bool = False
+    remaining: List[str] = field(default_factory=list)
+
+
+class Preprocessor:
+    """Joint LLM-script pre-processor."""
+
+    def __init__(self, llm, timing=None, max_iterations=6, spec=None):
+        self.llm = llm
+        self.timing = timing
+        self.linter = Linter()
+        self.max_iterations = max_iterations
+        self.spec = spec
+
+    def run(self, source):
+        """Returns (pre-processed source, :class:`PreprocessReport`)."""
+        report = PreprocessReport()
+        current = source
+        for _ in range(self.max_iterations):
+            report.iterations += 1
+            lint = self.linter.lint(current)
+            if self.timing is not None:
+                self.timing.lint("preprocess")
+            errors = lint.errors
+            warnings = lint.warnings_with_code(*FIXABLE_WARNINGS)
+            if errors:
+                report.had_syntax_errors = True
+                updated = self._llm_fix(current, lint, report)
+                if updated == current:
+                    # Nothing usable this round; retry (LLM sampling is
+                    # stochastic) until the iteration bound runs out.
+                    continue
+                current = updated
+            elif warnings:
+                current, fixed = apply_warning_templates(current, warnings)
+                report.template_fixes += fixed
+                if self.timing is not None:
+                    self.timing.template_fix(max(1, fixed), "preprocess")
+                if not fixed:
+                    break
+            else:
+                report.clean = True
+                return current, report
+        final = self.linter.lint(current)
+        report.clean = not final.errors and not final.warnings_with_code(
+            *FIXABLE_WARNINGS
+        )
+        report.remaining = [d.format() for d in final.errors]
+        return current, report
+
+    def _llm_fix(self, source, lint, report):
+        prompt = build_syntax_prompt(source, lint.format(), spec=self.spec)
+        response = self.llm.complete(prompt, task="syntax")
+        report.llm_calls += 1
+        if self.timing is not None:
+            self.timing.llm_call("preprocess", response)
+        try:
+            data = parse_structured_response(response.text, REPAIR_SCHEMA)
+        except SchemaValidationError:
+            return source
+        pairs = data.get("correct", [])
+        if not pairs:
+            return source
+        updated, applied = apply_pairs(source, pairs)
+        return updated if applied else source

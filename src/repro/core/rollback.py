@@ -1,0 +1,63 @@
+"""The rollback mechanism and Score Register (paper Section III-C).
+
+Every iteration's candidate code is scored by the scoreboard's test
+pass rate.  If a new iteration scores below the best seen so far, the
+framework reverts to the best-scoring version and records the offending
+patch as a *damage repair*, which is fed back into the next prompt's
+DAMAGE REPAIRS section so the agent does not repeat it.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class ScoreEntry:
+    """One archived (iteration, score, source) snapshot."""
+
+    iteration: int
+    score: float
+    source: str
+
+
+@dataclass
+class ScoreRegister:
+    """History of scored code versions plus the damage-repair log."""
+
+    history: List[ScoreEntry] = field(default_factory=list)
+    damage_repairs: List[Tuple[str, str]] = field(default_factory=list)
+    rollbacks: int = 0
+
+    def record(self, iteration, score, source):
+        self.history.append(ScoreEntry(iteration, score, source))
+
+    @property
+    def best(self) -> Optional[ScoreEntry]:
+        if not self.history:
+            return None
+        # max by score; ties keep the earliest (stable, fewer changes).
+        best_entry = self.history[0]
+        for entry in self.history[1:]:
+            if entry.score > best_entry.score:
+                best_entry = entry
+        return best_entry
+
+    def consider(self, iteration, score, source, applied_pairs):
+        """Score a new candidate.
+
+        Returns the source to continue from.  When the candidate scores
+        below the best archived version, the best version is restored,
+        the rollback counter increments, and the applied pairs are
+        logged as damage repairs.
+        """
+        best_before = self.best
+        self.record(iteration, score, source)
+        if best_before is not None and score < best_before.score:
+            self.rollbacks += 1
+            for pair in applied_pairs:
+                if len(pair) >= 2:
+                    key = (pair[0], pair[1])
+                    if key not in self.damage_repairs:
+                        self.damage_repairs.append(key)
+            return best_before.source
+        return source

@@ -1,0 +1,34 @@
+"""Paradigm error generator (paper Section III-E).
+
+Injects the human-made error patterns of Table I into verified golden
+designs, producing the evaluation dataset.  Every instance is validated:
+syntax mutations must actually fail the linter, functional mutations
+must compile but fail the UVM testbench — the paper's "all errors are
+triggered during verification" guarantee.
+"""
+
+from repro.errgen.mutations import (
+    ALL_OPERATORS,
+    FUNCTIONAL_OPERATORS,
+    SYNTAX_OPERATORS,
+    MutationOperator,
+    MutationSite,
+)
+from repro.errgen.generator import (
+    ErrorInstance,
+    generate_dataset,
+    generate_for_module,
+    DATASET_TARGET_SIZE,
+)
+
+__all__ = [
+    "ALL_OPERATORS",
+    "FUNCTIONAL_OPERATORS",
+    "SYNTAX_OPERATORS",
+    "MutationOperator",
+    "MutationSite",
+    "ErrorInstance",
+    "generate_dataset",
+    "generate_for_module",
+    "DATASET_TARGET_SIZE",
+]

@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver exposes ``run(...) -> dict`` returning structured results
+and a ``render(results) -> str`` producing the paper-style table.  The
+benchmark harness under ``benchmarks/`` and the EXPERIMENTS.md generator
+both call these.
+"""
+
+from repro.experiments.runner import (
+    InstanceRecord,
+    evaluate_fix,
+    run_method_on_instance,
+    run_methods,
+    METHODS,
+)
+
+__all__ = [
+    "InstanceRecord",
+    "evaluate_fix",
+    "run_method_on_instance",
+    "run_methods",
+    "METHODS",
+]

@@ -1,0 +1,111 @@
+"""Extra ablations beyond Table III, for the design choices DESIGN.md
+calls out:
+
+- **rollback** — the Score-Register rollback mechanism on vs off;
+- **ms_threshold** — when to escalate from MS-mode to SL-mode error
+  info (Algorithm 2's TH): 0 (always SL), 2 (paper default), 5 (never).
+
+Both are UVLLM-internal switches, so the comparison isolates exactly
+one pipeline decision at a time.
+"""
+
+from repro.core.config import UVLLMConfig
+from repro.core.framework import UVLLM
+from repro.bench.registry import get_module
+from repro.errgen.generator import generate_dataset
+from repro.experiments.runner import evaluate_fix
+from repro.llm.mock import MockLLM
+
+
+def _run_config(instances, config_factory, attempts=2):
+    fixed = hits = 0
+    seconds = 0.0
+    rollbacks = 0
+    for instance in instances:
+        bench = get_module(instance.module_name)
+        outcome = None
+        used = 0
+        for attempt in range(attempts):
+            used += 1
+            framework = UVLLM(MockLLM(seed=attempt), config_factory())
+            outcome = framework.verify_and_repair(
+                instance.buggy_source, bench
+            )
+            if outcome.hit:
+                break
+        hits += 1 if outcome.hit else 0
+        rollbacks += outcome.rollbacks
+        seconds += outcome.seconds
+        if outcome.hit and evaluate_fix(outcome.final_source, bench):
+            fixed += 1
+    n = max(1, len(instances))
+    return {
+        "hr": 100.0 * hits / n,
+        "fr": 100.0 * fixed / n,
+        "seconds": seconds / n,
+        "rollbacks": rollbacks,
+        "n": len(instances),
+    }
+
+
+def run_rollback_ablation(modules=None, per_operator=1, attempts=2,
+                          seed=0):
+    """Rollback on vs off, functional errors only (where it matters)."""
+    instances = [
+        inst for inst in generate_dataset(
+            seed=seed, per_operator=per_operator, target=None,
+            modules=modules,
+        )
+        if inst.kind == "functional"
+    ]
+    return {
+        "with_rollback": _run_config(
+            instances, lambda: UVLLMConfig(enable_rollback=True),
+            attempts,
+        ),
+        "without_rollback": _run_config(
+            instances, lambda: UVLLMConfig(enable_rollback=False),
+            attempts,
+        ),
+    }
+
+
+def run_ms_threshold_ablation(modules=None, per_operator=1, attempts=2,
+                              seed=0, thresholds=(0, 2, 5)):
+    """Sweep the MS->SL escalation threshold."""
+    instances = [
+        inst for inst in generate_dataset(
+            seed=seed, per_operator=per_operator, target=None,
+            modules=modules,
+        )
+        if inst.kind == "functional"
+    ]
+    results = {}
+    for threshold in thresholds:
+        results[f"ms_iterations={threshold}"] = _run_config(
+            instances,
+            lambda t=threshold: UVLLMConfig(ms_iterations=t),
+            attempts,
+        )
+    return results
+
+
+def render(results, title):
+    lines = [title,
+             f"{'config':<24}{'HR %':>8}{'FR %':>8}{'t (s)':>9}"
+             f"{'rollbacks':>11}"]
+    for label, row in results.items():
+        lines.append(
+            f"{label:<24}{row['hr']:>8.1f}{row['fr']:>8.1f}"
+            f"{row['seconds']:>9.2f}{row['rollbacks']:>11d}"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    quick = ["counter_12", "edge_detect", "accu"]
+    print(render(run_rollback_ablation(modules=quick),
+                 "Ablation: rollback mechanism"))
+    print()
+    print(render(run_ms_threshold_ablation(modules=quick),
+                 "Ablation: MS->SL escalation threshold"))

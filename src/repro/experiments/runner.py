@@ -1,0 +1,146 @@
+"""Shared experiment execution.
+
+Semantics follow the paper's setup:
+
+- every method is run with up to ``attempts`` independent LLM seeds per
+  instance ("we asked LLMs for 5 times to reduce the randomness"); the
+  first attempt whose repair passes the method's own acceptance
+  criterion is taken (pass@k);
+- **HR** is that internal acceptance;
+- **FR** is external validation: the accepted repair must pass the
+  extended held-out suite (``make_fr_sequence``) — the mechanized
+  expert review;
+- execution time is the mean modelled seconds per attempt.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.baselines.direct import DirectLLM
+from repro.baselines.meic import MEIC
+from repro.baselines.rtlrepair import RTLRepair
+from repro.baselines.strider import Strider
+from repro.bench.registry import get_module, make_fr_sequence
+from repro.core.config import UVLLMConfig
+from repro.core.framework import UVLLM
+from repro.lint.linter import Linter
+from repro.llm.mock import MockLLM
+from repro.uvm.test import run_uvm_test
+
+#: Methods evaluated in the paper's figures.
+METHODS = ("uvllm", "uvllm_comp", "meic", "gpt-4-turbo", "strider",
+           "rtlrepair")
+
+_linter = Linter()
+
+
+@dataclass
+class InstanceRecord:
+    """Per-instance, per-method outcome."""
+
+    instance_id: str
+    module_name: str
+    category: str
+    kind: str
+    paper_class: str
+    method: str
+    hit: bool = False
+    fixed: bool = False
+    seconds: float = 0.0
+    stage: Optional[str] = None
+    stage_seconds: dict = field(default_factory=dict)
+    attempts_used: int = 0
+
+
+def evaluate_fix(final_source, bench, seed=1000):
+    """External (expert-equivalent) validation of a repair — the FR
+    oracle: lint-clean of errors plus full pass on the held-out suite."""
+    if _linter.lint(final_source).errors:
+        return False
+    result = run_uvm_test(
+        final_source, make_fr_sequence(bench, seed=seed), bench.protocol,
+        bench.model(), bench.compare_signals, top=bench.top,
+    )
+    return result.all_passed
+
+
+def _make_method(method, seed):
+    llm = MockLLM(seed=seed)
+    if method == "uvllm":
+        return UVLLM(llm, UVLLMConfig(patch_form="pair", hr_seed=0))
+    if method == "uvllm_comp":
+        return UVLLM(llm, UVLLMConfig(patch_form="complete", hr_seed=0))
+    if method == "meic":
+        return MEIC(llm)
+    if method == "gpt-4-turbo":
+        return DirectLLM(llm)
+    if method == "strider":
+        return Strider()
+    if method == "rtlrepair":
+        return RTLRepair()
+    raise ValueError(f"unknown method '{method}'")
+
+
+def run_method_on_instance(method, instance, attempts=3):
+    """Run one method on one error instance (pass@``attempts``)."""
+    bench = get_module(instance.module_name)
+    record = InstanceRecord(
+        instance_id=instance.instance_id,
+        module_name=instance.module_name,
+        category=instance.category,
+        kind=instance.kind,
+        paper_class=instance.paper_class,
+        method=method,
+    )
+    total_seconds = 0.0
+    outcome = None
+    for attempt in range(attempts):
+        engine = _make_method(method, seed=attempt)
+        if method.startswith("uvllm"):
+            outcome = engine.verify_and_repair(instance.buggy_source, bench)
+        else:
+            outcome = engine.repair(instance.buggy_source, bench)
+        total_seconds += outcome.seconds
+        record.attempts_used = attempt + 1
+        if outcome.hit:
+            break
+        if method in ("strider", "rtlrepair"):
+            break  # deterministic: retrying cannot change the answer
+    record.hit = bool(outcome and outcome.hit)
+    record.seconds = total_seconds / max(1, record.attempts_used)
+    record.stage = getattr(outcome, "stage", None)
+    record.stage_seconds = dict(getattr(outcome, "stage_seconds", {}) or {})
+    if record.hit and outcome is not None:
+        record.fixed = evaluate_fix(outcome.final_source, bench)
+    return record
+
+
+def run_methods(instances, methods, attempts=3, progress=None):
+    """Run several methods over a dataset; returns a list of records."""
+    records = []
+    for index, instance in enumerate(instances):
+        for method in methods:
+            records.append(
+                run_method_on_instance(method, instance, attempts=attempts)
+            )
+        if progress is not None:
+            progress(index + 1, len(instances))
+    return records
+
+
+def group_records(records, key):
+    """Group records by a callable key -> {key_value: [records]}."""
+    grouped = {}
+    for record in records:
+        grouped.setdefault(key(record), []).append(record)
+    return grouped
+
+
+def rates(records):
+    """(HR%, FR%, mean seconds) for a record list."""
+    if not records:
+        return 0.0, 0.0, 0.0
+    hr = 100.0 * sum(1 for r in records if r.hit) / len(records)
+    fr = 100.0 * sum(1 for r in records if r.fixed) / len(records)
+    seconds = sum(r.seconds for r in records) / len(records)
+    return hr, fr, seconds

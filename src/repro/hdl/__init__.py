@@ -1,0 +1,32 @@
+"""Verilog frontend: lexer, parser, AST, and source printer.
+
+This package implements the HDL substrate the UVLLM pipeline operates on.
+It supports the synthesizable Verilog-2001 subset used by the benchmark
+designs: modules with ANSI or non-ANSI ports, parameters, wire/reg/integer
+declarations with ranges, continuous assignments, ``always`` blocks with
+edge or combinational sensitivity, ``if``/``case``/``for`` statements,
+blocking and non-blocking assignments, module instantiation, and the full
+Verilog expression grammar (including concatenation, replication, bit and
+part selects, and sized literals with x/z digits).
+"""
+
+from repro.hdl.errors import HdlSyntaxError, SourceLocation
+from repro.hdl.lexer import Lexer, Token, TokenKind, tokenize
+from repro.hdl.parser import Parser, parse_module, parse_source
+from repro.hdl.printer import print_module, print_source
+from repro.hdl import ast
+
+__all__ = [
+    "HdlSyntaxError",
+    "SourceLocation",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse_module",
+    "parse_source",
+    "print_module",
+    "print_source",
+    "ast",
+]

@@ -1,0 +1,40 @@
+"""Error types and source locations for the Verilog frontend."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a Verilog source text (1-based line and column)."""
+
+    line: int = 0
+    column: int = 0
+
+    def __str__(self):
+        return f"{self.line}:{self.column}"
+
+
+class HdlError(Exception):
+    """Base class for all frontend errors."""
+
+
+class HdlSyntaxError(HdlError):
+    """A lexical or syntactic error in Verilog source.
+
+    Carries the source location so linters and repair agents can point the
+    LLM at the offending line, mirroring what Verilator reports.
+    """
+
+    def __init__(self, message, location=None):
+        self.message = message
+        self.location = location or SourceLocation()
+        super().__init__(f"{self.location}: {message}")
+
+
+class HdlElaborationError(HdlError):
+    """A semantic error raised while elaborating a design hierarchy."""
+
+    def __init__(self, message, location=None):
+        self.message = message
+        self.location = location or SourceLocation()
+        super().__init__(f"{self.location}: {message}")

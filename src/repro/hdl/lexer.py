@@ -1,0 +1,243 @@
+"""Tokenizer for the supported Verilog subset.
+
+The lexer is hand-written (no regex table) so that it can report precise
+source locations and recover the exact offending character for syntax
+diagnostics — the same information Verilator feeds into its error log,
+which the UVLLM pre-processing stage depends on.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hdl.errors import HdlSyntaxError, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories produced by :class:`Lexer`."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"          # plain decimal: 42
+    BASED_NUMBER = "based"     # sized/based: 8'hFF, 'b101, 4'bxx01
+    STRING = "string"
+    PUNCT = "punct"
+    SYSTEM_IDENT = "system"    # $display, $signed ...
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """
+    module endmodule input output inout wire reg integer real parameter
+    localparam assign always initial begin end if else case casez casex
+    endcase default for while repeat forever posedge negedge or and not
+    function endfunction task endtask generate endgenerate genvar
+    signed unsigned
+    """.split()
+)
+
+# Multi-character operators, longest first so maximal munch works.
+MULTI_PUNCT = [
+    "<<<", ">>>", "===", "!==",
+    "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+    "+:", "-:", "**", "~&", "~|", "~^", "^~",
+]
+
+SINGLE_PUNCT = set("()[]{};:,.#?@=+-*/%<>!&|^~")
+
+
+@dataclass
+class Token:
+    """A single lexical token with its source location."""
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def is_punct(self, text):
+        return self.kind == TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text):
+        return self.kind == TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self):
+        return f"Token({self.kind.name}, {self.text!r}, {self.location})"
+
+
+class Lexer:
+    """Converts Verilog source text into a token stream.
+
+    Comments (``//`` and ``/* */``) and compiler directives on their own
+    lines (backtick macros) are skipped; everything else must tokenize or
+    a :class:`HdlSyntaxError` is raised with the location of the bad
+    character.
+    """
+
+    def __init__(self, source):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _location(self):
+        return SourceLocation(self.line, self.column)
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count=1):
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _skip_trivia(self):
+        """Skip whitespace, comments, and compiler directives."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise HdlSyntaxError("unterminated block comment", start)
+            elif ch == "`":
+                # Compiler directive (`timescale, `define ...): skip line.
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def next_token(self):
+        """Return the next token, or an EOF token at end of input."""
+        self._skip_trivia()
+        loc = self._location()
+        if self.pos >= len(self.source):
+            return Token(TokenKind.EOF, "", loc)
+
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(loc)
+        if ch.isdigit():
+            return self._lex_number(loc)
+        if ch == "'":
+            return self._lex_based_number(loc, size_text="")
+        if ch == '"':
+            return self._lex_string(loc)
+        if ch == "$":
+            return self._lex_system_ident(loc)
+        return self._lex_punct(loc)
+
+    def _lex_ident(self, loc):
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() in "_$"
+        ):
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, loc)
+
+    def _lex_number(self, loc):
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isdigit() or self._peek() == "_"
+        ):
+            self._advance()
+        size_text = self.source[start:self.pos]
+        # A decimal literal followed by a base marker is a sized literal.
+        save = (self.pos, self.line, self.column)
+        self._skip_trivia()
+        if self._peek() == "'":
+            return self._lex_based_number(loc, size_text=size_text)
+        self.pos, self.line, self.column = save
+        return Token(TokenKind.NUMBER, size_text, loc)
+
+    def _lex_based_number(self, loc, size_text):
+        self._advance()  # consume the apostrophe
+        signed = ""
+        if self._peek() in "sS":
+            signed = self._peek()
+            self._advance()
+        base = self._peek()
+        if base not in "bBoOdDhH":
+            raise HdlSyntaxError(
+                f"invalid base specifier {base!r} in number literal", loc
+            )
+        self._advance()
+        self._skip_trivia()
+        digits_start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() in "_?"
+        ):
+            self._advance()
+        digits = self.source[digits_start:self.pos]
+        if not digits:
+            raise HdlSyntaxError("number literal is missing digits", loc)
+        text = f"{size_text}'{signed}{base}{digits}"
+        return Token(TokenKind.BASED_NUMBER, text, loc)
+
+    def _lex_string(self, loc):
+        self._advance()  # opening quote
+        start = self.pos
+        while self.pos < len(self.source) and self._peek() != '"':
+            if self._peek() == "\n":
+                raise HdlSyntaxError("unterminated string literal", loc)
+            self._advance()
+        if self.pos >= len(self.source):
+            raise HdlSyntaxError("unterminated string literal", loc)
+        text = self.source[start:self.pos]
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING, text, loc)
+
+    def _lex_system_ident(self, loc):
+        self._advance()  # the $
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self.source[start:self.pos]
+        if not text:
+            raise HdlSyntaxError("bare '$' is not a valid token", loc)
+        return Token(TokenKind.SYSTEM_IDENT, "$" + text, loc)
+
+    def _lex_punct(self, loc):
+        for op in MULTI_PUNCT:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenKind.PUNCT, op, loc)
+        ch = self._peek()
+        if ch in SINGLE_PUNCT:
+            self._advance()
+            return Token(TokenKind.PUNCT, ch, loc)
+        raise HdlSyntaxError(f"unexpected character {ch!r}", loc)
+
+    def tokens(self):
+        """Yield tokens until (and including) EOF."""
+        while True:
+            token = self.next_token()
+            yield token
+            if token.kind == TokenKind.EOF:
+                return
+
+
+def tokenize(source):
+    """Tokenize ``source`` into a list of tokens ending with EOF."""
+    return list(Lexer(source).tokens())

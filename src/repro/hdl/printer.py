@@ -1,0 +1,208 @@
+"""AST-to-source printer.
+
+Regenerates parseable Verilog from the AST.  Used by the error generator
+(mutate AST, print the buggy source) and by repair-form ablations where
+the "LLM" regenerates a complete module.  Round-tripping through
+``parse -> print -> parse`` is covered by property tests.
+"""
+
+from repro.hdl import ast
+
+_INDENT = "    "
+
+
+def print_expr(expr):
+    """Render an expression to Verilog source text."""
+    if isinstance(expr, ast.Number):
+        return expr.text or str(expr.value)
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{_wrap(expr.operand)}"
+    if isinstance(expr, ast.Binary):
+        return f"{_wrap(expr.left)} {expr.op} {_wrap(expr.right)}"
+    if isinstance(expr, ast.Ternary):
+        return (
+            f"{_wrap(expr.cond)} ? {_wrap(expr.then)} : "
+            f"{_wrap(expr.otherwise)}"
+        )
+    if isinstance(expr, ast.Concat):
+        return "{" + ", ".join(print_expr(p) for p in expr.parts) + "}"
+    if isinstance(expr, ast.Repeat):
+        return "{" + print_expr(expr.count) + "{" + print_expr(expr.value) + "}}"
+    if isinstance(expr, ast.Index):
+        return f"{print_expr(expr.base)}[{print_expr(expr.index)}]"
+    if isinstance(expr, ast.PartSelect):
+        return (
+            f"{print_expr(expr.base)}[{print_expr(expr.msb)}"
+            f"{expr.mode}{print_expr(expr.lsb)}]"
+        )
+    if isinstance(expr, ast.FunctionCall):
+        args = ", ".join(print_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    raise TypeError(f"cannot print expression node {type(expr).__name__}")
+
+
+def _wrap(expr):
+    """Parenthesize compound sub-expressions to preserve precedence."""
+    text = print_expr(expr)
+    if isinstance(expr, (ast.Binary, ast.Ternary)):
+        return f"({text})"
+    return text
+
+
+def _print_range(rng):
+    if rng is None:
+        return ""
+    return f"[{print_expr(rng.msb)}:{print_expr(rng.lsb)}]"
+
+
+def print_stmt(stmt, indent=1):
+    """Render a statement to a list of indented source lines."""
+    pad = _INDENT * indent
+    lines = []
+    if isinstance(stmt, ast.Block):
+        header = "begin" if stmt.name is None else f"begin : {stmt.name}"
+        lines.append(pad + header)
+        for inner in stmt.statements:
+            lines.extend(print_stmt(inner, indent + 1))
+        lines.append(pad + "end")
+    elif isinstance(stmt, ast.Assign):
+        op = "=" if stmt.blocking else "<="
+        lines.append(
+            f"{pad}{print_expr(stmt.target)} {op} {print_expr(stmt.value)};"
+        )
+    elif isinstance(stmt, ast.If):
+        lines.append(f"{pad}if ({print_expr(stmt.cond)})")
+        lines.extend(print_stmt(stmt.then_stmt, indent + 1))
+        if stmt.else_stmt is not None:
+            lines.append(pad + "else")
+            lines.extend(print_stmt(stmt.else_stmt, indent + 1))
+    elif isinstance(stmt, ast.Case):
+        lines.append(f"{pad}{stmt.kind} ({print_expr(stmt.subject)})")
+        for item in stmt.items:
+            if item.is_default:
+                lines.append(pad + _INDENT + "default:")
+            else:
+                labels = ", ".join(print_expr(label) for label in item.labels)
+                lines.append(f"{pad}{_INDENT}{labels}:")
+            lines.extend(print_stmt(item.body, indent + 2))
+        lines.append(pad + "endcase")
+    elif isinstance(stmt, ast.For):
+        init = _print_bare_assign(stmt.init)
+        step = _print_bare_assign(stmt.step)
+        lines.append(f"{pad}for ({init}; {print_expr(stmt.cond)}; {step})")
+        lines.extend(print_stmt(stmt.body, indent + 1))
+    elif isinstance(stmt, ast.While):
+        lines.append(f"{pad}while ({print_expr(stmt.cond)})")
+        lines.extend(print_stmt(stmt.body, indent + 1))
+    elif isinstance(stmt, ast.NullStmt):
+        lines.append(pad + ";")
+    elif isinstance(stmt, ast.SystemTaskCall):
+        args = ", ".join(print_expr(a) for a in stmt.args)
+        suffix = f"({args})" if stmt.args else ""
+        lines.append(f"{pad}{stmt.name}{suffix};")
+    else:
+        raise TypeError(f"cannot print statement node {type(stmt).__name__}")
+    return lines
+
+
+def _print_bare_assign(assign):
+    op = "=" if assign.blocking else "<="
+    return f"{print_expr(assign.target)} {op} {print_expr(assign.value)}"
+
+
+def _print_event_control(control):
+    if control.star:
+        return "@(*)"
+    parts = []
+    for edge, expr in control.events:
+        prefix = "" if edge == "level" else edge + " "
+        parts.append(prefix + print_expr(expr))
+    return "@(" + " or ".join(parts) + ")"
+
+
+def print_item(item, ansi_port_names=frozenset()):
+    """Render a module item to a list of source lines.
+
+    ``ansi_port_names`` suppresses re-printing declarations that were
+    already emitted in an ANSI-style header.
+    """
+    lines = []
+    if isinstance(item, ast.NetDecl):
+        if item.direction and all(n in ansi_port_names for n in item.names):
+            return lines
+        parts = []
+        if item.direction:
+            parts.append(item.direction)
+        if item.kind:
+            parts.append(item.kind)
+        if item.signed:
+            parts.append("signed")
+        rng = _print_range(item.range)
+        if rng:
+            parts.append(rng)
+        decl = " ".join(parts)
+        for name in item.names:
+            suffix = ""
+            if item.array is not None:
+                suffix = " " + _print_range(item.array)
+            if item.init is not None:
+                suffix += f" = {print_expr(item.init)}"
+            lines.append(f"{_INDENT}{decl} {name}{suffix};")
+    elif isinstance(item, ast.ParamDecl):
+        keyword = "localparam" if item.local else "parameter"
+        rng = _print_range(item.range)
+        rng = f" {rng}" if rng else ""
+        lines.append(
+            f"{_INDENT}{keyword}{rng} {item.name} = {print_expr(item.value)};"
+        )
+    elif isinstance(item, ast.ContinuousAssign):
+        lines.append(
+            f"{_INDENT}assign {print_expr(item.target)} = "
+            f"{print_expr(item.value)};"
+        )
+    elif isinstance(item, ast.Always):
+        lines.append(
+            f"{_INDENT}always {_print_event_control(item.sensitivity)}"
+        )
+        lines.extend(print_stmt(item.body, 2))
+    elif isinstance(item, ast.Initial):
+        lines.append(f"{_INDENT}initial")
+        lines.extend(print_stmt(item.body, 2))
+    elif isinstance(item, ast.Instance):
+        params = ""
+        if item.param_overrides:
+            rendered = ", ".join(
+                f".{c.name}({print_expr(c.expr)})" if c.name
+                else print_expr(c.expr)
+                for c in item.param_overrides
+            )
+            params = f" #({rendered})"
+        conns = ", ".join(
+            f".{c.name}({print_expr(c.expr) if c.expr else ''})" if c.name
+            else print_expr(c.expr)
+            for c in item.connections
+        )
+        lines.append(
+            f"{_INDENT}{item.module_name}{params} {item.name}({conns});"
+        )
+    else:
+        raise TypeError(f"cannot print module item {type(item).__name__}")
+    return lines
+
+
+def print_module(module):
+    """Render a module to Verilog source text (non-ANSI port style)."""
+    lines = []
+    ports = ", ".join(module.port_names())
+    lines.append(f"module {module.name}({ports});")
+    for item in module.items:
+        lines.extend(print_item(item))
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def print_source(source_file):
+    """Render a whole source file."""
+    return "\n".join(print_module(m) for m in source_file.modules)

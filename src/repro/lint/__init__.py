@@ -1,0 +1,24 @@
+"""Verilator-style linter over the :mod:`repro.hdl` frontend.
+
+The UVLLM pre-processing stage (paper Algorithm 1) drives this linter in
+a loop: syntax *errors* go to the repair LLM, while a focused set of
+timing-related *warnings* (non-blocking assignment in combinational
+logic, blocking assignment in clocked logic, incomplete sensitivity
+lists) are fixed mechanically by the templates in
+:mod:`repro.lint.templates`.
+"""
+
+from repro.lint.linter import Diagnostic, LintReport, Linter, lint_source
+from repro.lint.templates import (
+    FIXABLE_WARNINGS,
+    apply_warning_templates,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Linter",
+    "lint_source",
+    "FIXABLE_WARNINGS",
+    "apply_warning_templates",
+]

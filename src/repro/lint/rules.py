@@ -1,0 +1,739 @@
+"""Semantic lint rules.
+
+Each rule inspects one module's AST and yields diagnostics.  Rules are
+deliberately aligned with the Verilator warnings the paper's scripts
+target (COMBDLY, BLKSEQ, incomplete sensitivity) plus the broader checks
+a real lint pass performs (undeclared nets, wire/reg misuse, width
+mismatches, latch inference, multiple drivers, incomplete case).
+"""
+
+from dataclasses import dataclass
+
+from repro.hdl import ast
+
+
+@dataclass
+class RuleContext:
+    """What a rule sees: one module plus the file for cross-module checks."""
+
+    module: ast.Module
+    source_file: ast.SourceFile
+
+    def __post_init__(self):
+        self.declared = {}
+        self.memories = set()
+        self.params = set()
+        self.param_decls = {}
+        for item in self.module.items:
+            if isinstance(item, ast.NetDecl):
+                for name in item.names:
+                    entry = self.declared.setdefault(
+                        name, {"kind": None, "direction": None, "decl": item}
+                    )
+                    if item.kind:
+                        entry["kind"] = item.kind
+                    if item.direction:
+                        entry["direction"] = item.direction
+                    if item.array is not None:
+                        self.memories.add(name)
+            elif isinstance(item, ast.ParamDecl):
+                self.params.add(item.name)
+                self.param_decls[item.name] = item
+        self.instance_names = {
+            item.name for item in self.module.items
+            if isinstance(item, ast.Instance)
+        }
+
+    def kind_of(self, name):
+        entry = self.declared.get(name)
+        if entry is None:
+            return None
+        return entry["kind"] or "wire"
+
+    def is_declared(self, name):
+        return name in self.declared or name in self.params
+
+
+def _diagnostic(severity, code, message, location, hint=""):
+    from repro.lint.linter import Diagnostic
+
+    return Diagnostic(severity, code, message, location, hint)
+
+
+def _assignments_in(stmt):
+    """Yield every Assign in a statement tree (including for init/step)."""
+    for node in stmt.walk():
+        if isinstance(node, ast.Assign):
+            yield node
+
+
+def _lhs_base_name(target):
+    """The root identifier written by an assignment target, if simple."""
+    node = target
+    while isinstance(node, (ast.Index, ast.PartSelect)):
+        node = node.base
+    if isinstance(node, ast.Identifier):
+        return node.name
+    return None
+
+
+def _lhs_base_names(target):
+    """All root identifiers written (handles concat targets)."""
+    if isinstance(target, ast.Concat):
+        names = []
+        for part in target.parts:
+            names.extend(_lhs_base_names(part))
+        return names
+    name = _lhs_base_name(target)
+    return [name] if name else []
+
+
+def _read_identifiers(always):
+    """Names read inside an always body (RHS, conditions, indexes)."""
+    reads = set()
+
+    def visit_expr(expr):
+        for node in expr.walk():
+            if isinstance(node, ast.Identifier):
+                reads.add(node.name)
+
+    def visit_stmt(stmt):
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                visit_stmt(inner)
+        elif isinstance(stmt, ast.Assign):
+            visit_expr(stmt.value)
+            node = stmt.target
+            while isinstance(node, (ast.Index, ast.PartSelect)):
+                if isinstance(node, ast.Index):
+                    visit_expr(node.index)
+                else:
+                    visit_expr(node.msb)
+                    visit_expr(node.lsb)
+                node = node.base
+        elif isinstance(stmt, ast.If):
+            visit_expr(stmt.cond)
+            visit_stmt(stmt.then_stmt)
+            if stmt.else_stmt:
+                visit_stmt(stmt.else_stmt)
+        elif isinstance(stmt, ast.Case):
+            visit_expr(stmt.subject)
+            for item in stmt.items:
+                for label in item.labels:
+                    visit_expr(label)
+                visit_stmt(item.body)
+        elif isinstance(stmt, ast.For):
+            visit_stmt(stmt.init)
+            visit_expr(stmt.cond)
+            visit_stmt(stmt.step)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.While):
+            visit_expr(stmt.cond)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.SystemTaskCall):
+            for arg in stmt.args:
+                visit_expr(arg)
+
+    visit_stmt(always.body)
+    return reads
+
+
+class Rule:
+    """Base class; subclasses define ``code`` and ``check``."""
+
+    code = ""
+    description = ""
+
+    def check(self, context):
+        raise NotImplementedError
+
+
+class UndeclaredRule(Rule):
+    """Identifiers used without declaration.
+
+    Writing an undeclared name procedurally is an error (Verilog requires
+    a variable); reading one merely creates an implicit 1-bit wire, which
+    Verilator flags as IMPLICIT.
+    """
+
+    code = "IMPLICIT"
+
+    def check(self, context):
+        module = context.module
+        for item in module.items:
+            if isinstance(item, ast.Always):
+                for assign in _assignments_in(item.body):
+                    for name in _lhs_base_names(assign.target):
+                        if not context.is_declared(name):
+                            yield _diagnostic(
+                                "error", "UNDECLARED",
+                                f"procedural assignment to undeclared "
+                                f"variable '{name}'",
+                                assign.location,
+                            )
+        used = set()
+        for item in module.items:
+            if isinstance(item, (ast.Always, ast.ContinuousAssign, ast.Initial)):
+                for node in item.walk():
+                    if isinstance(node, ast.Identifier):
+                        used.add((node.name, node.location))
+        reported = set()
+        for name, location in sorted(used, key=lambda u: (u[1].line, u[0])):
+            if not context.is_declared(name) and name not in reported:
+                reported.add(name)
+                yield _diagnostic(
+                    "warning", "IMPLICIT",
+                    f"signal '{name}' is used but never declared "
+                    f"(implicit 1-bit wire)",
+                    location,
+                )
+
+
+class ProceduralWireRule(Rule):
+    """Procedural assignment to a wire is illegal."""
+
+    code = "PROCASSWIRE"
+
+    def check(self, context):
+        for item in context.module.items:
+            if not isinstance(item, ast.Always):
+                continue
+            for assign in _assignments_in(item.body):
+                for name in _lhs_base_names(assign.target):
+                    if context.kind_of(name) == "wire" and \
+                            name not in context.memories:
+                        yield _diagnostic(
+                            "error", "PROCASSWIRE",
+                            f"procedural assignment to wire '{name}' "
+                            f"(declare it as reg)",
+                            assign.location,
+                        )
+
+
+class ContinuousRegRule(Rule):
+    """Continuous assignment to a reg is illegal."""
+
+    code = "CONTASSREG"
+
+    def check(self, context):
+        for item in context.module.items:
+            if not isinstance(item, ast.ContinuousAssign):
+                continue
+            for name in _lhs_base_names(item.target):
+                if context.kind_of(name) in ("reg", "integer"):
+                    yield _diagnostic(
+                        "error", "CONTASSREG",
+                        f"continuous assignment to reg '{name}' "
+                        f"(use a wire or assign inside always)",
+                        item.location,
+                    )
+
+
+class CombDelayRule(Rule):
+    """Non-blocking assignment inside combinational logic (COMBDLY).
+
+    This is the flagship "timing-related warning" the paper's script
+    templates fix by rewriting ``<=`` to ``=``.
+    """
+
+    code = "COMBDLY"
+
+    def check(self, context):
+        for item in context.module.items:
+            if not isinstance(item, ast.Always):
+                continue
+            if item.sensitivity.is_clocked:
+                continue
+            for assign in _assignments_in(item.body):
+                if not assign.blocking:
+                    yield _diagnostic(
+                        "warning", "COMBDLY",
+                        "non-blocking assignment in combinational block "
+                        "(use '=')",
+                        assign.location,
+                        hint="replace '<=' with '='",
+                    )
+
+
+class BlockingSeqRule(Rule):
+    """Blocking assignment inside clocked logic (BLKSEQ)."""
+
+    code = "BLKSEQ"
+
+    def check(self, context):
+        for item in context.module.items:
+            if not isinstance(item, ast.Always):
+                continue
+            if not item.sensitivity.is_clocked:
+                continue
+            loop_temps = set()
+            for node in item.body.walk():
+                if isinstance(node, ast.For):
+                    for assign in (node.init, node.step):
+                        name = _lhs_base_name(assign.target)
+                        if name:
+                            loop_temps.add(name)
+            for assign in _assignments_in(item.body):
+                name = _lhs_base_name(assign.target)
+                if name in loop_temps or context.kind_of(name) == "integer":
+                    continue
+                if assign.blocking:
+                    yield _diagnostic(
+                        "warning", "BLKSEQ",
+                        "blocking assignment in sequential block "
+                        "(use '<=')",
+                        assign.location,
+                        hint="replace '=' with '<='",
+                    )
+
+
+class SensitivityRule(Rule):
+    """Level-sensitive always block with an incomplete sensitivity list."""
+
+    code = "SENSMISS"
+
+    def check(self, context):
+        for item in context.module.items:
+            if not isinstance(item, ast.Always):
+                continue
+            control = item.sensitivity
+            if control.star or control.is_clocked:
+                continue
+            listed = {
+                expr.name for _, expr in control.events
+                if isinstance(expr, ast.Identifier)
+            }
+            reads = _read_identifiers(item)
+            written = set()
+            for assign in _assignments_in(item.body):
+                written.update(_lhs_base_names(assign.target))
+            missing = sorted(
+                (reads - listed - written - context.params)
+                & set(context.declared)
+            )
+            if missing:
+                yield _diagnostic(
+                    "warning", "SENSMISS",
+                    f"sensitivity list is missing signal(s): "
+                    f"{', '.join(missing)}",
+                    item.location,
+                    hint="use always @(*)",
+                )
+
+
+class SyncAsyncRule(Rule):
+    """Clocked block with a reset-style conditional whose reset signal
+    is missing from the sensitivity list (Verilator SYNCASYNCNET).
+
+    Pattern: ``always @(posedge clk)`` whose body starts with
+    ``if (!sig) <only constant assignments>`` — the design intends an
+    asynchronous reset but the edge is missing.  The scripted template
+    repairs it by adding ``or negedge sig``.
+    """
+
+    code = "SYNCASYNC"
+
+    def check(self, context):
+        for item in context.module.items:
+            if not isinstance(item, ast.Always):
+                continue
+            control = item.sensitivity
+            if not control.is_clocked:
+                continue
+            listed = {
+                expr.name for _, expr in control.events
+                if isinstance(expr, ast.Identifier)
+            }
+            body = item.body
+            if isinstance(body, ast.Block) and body.statements:
+                body = body.statements[0]
+            if not isinstance(body, ast.If):
+                continue
+            cond = body.cond
+            if not (isinstance(cond, ast.Unary) and cond.op == "!" and
+                    isinstance(cond.operand, ast.Identifier)):
+                continue
+            reset_name = cond.operand.name
+            if reset_name in listed:
+                continue
+            if not self._constant_branch(body.then_stmt, context):
+                continue
+            yield _diagnostic(
+                "warning", "SYNCASYNC",
+                f"reset signal '{reset_name}' is tested asynchronously "
+                f"but missing from the sensitivity list",
+                item.location,
+                hint=f"add 'or negedge {reset_name}'",
+            )
+
+    def _constant_branch(self, stmt, context):
+        """All assignments write literal constants or parameters."""
+        assigns = list(_assignments_in(stmt))
+        if not assigns:
+            return False
+        return all(
+            isinstance(a.value, ast.Number)
+            or (isinstance(a.value, ast.Identifier)
+                and a.value.name in context.params)
+            for a in assigns
+        )
+
+
+class WidthRule(Rule):
+    """Assignment width mismatches (WIDTHTRUNC / WIDTHEXPAND)."""
+
+    code = "WIDTH"
+
+    def check(self, context):
+        widths = {}
+        for name, entry in context.declared.items():
+            decl = entry["decl"]
+            if decl.range is None:
+                widths[name] = 1
+            else:
+                msb = _const_value(decl.range.msb)
+                lsb = _const_value(decl.range.lsb)
+                if msb is not None and lsb is not None:
+                    widths[name] = abs(msb - lsb) + 1
+            if entry["kind"] == "integer":
+                widths[name] = 32
+        # Sized parameters participate in width checking (a 2-bit state
+        # encoding assigned to a 1-bit reg is a truncation).
+        for name, decl in context.param_decls.items():
+            if isinstance(decl.value, ast.Number) and decl.value.width:
+                widths[name] = decl.value.width
+
+        def expr_width(expr):
+            if isinstance(expr, ast.Number):
+                return expr.width  # None for unsized
+            if isinstance(expr, ast.Identifier):
+                return widths.get(expr.name)
+            if isinstance(expr, ast.Concat):
+                parts = [expr_width(p) for p in expr.parts]
+                if any(p is None for p in parts):
+                    return None
+                return sum(parts)
+            if isinstance(expr, ast.Index):
+                base = expr.base
+                if isinstance(base, ast.Identifier) and \
+                        base.name in context.memories:
+                    return widths.get(base.name)
+                return 1
+            if isinstance(expr, ast.PartSelect) and expr.mode == ":":
+                msb = _const_value(expr.msb)
+                lsb = _const_value(expr.lsb)
+                if msb is None or lsb is None:
+                    return None
+                return abs(msb - lsb) + 1
+            return None  # operators: context-determined, skip
+
+        checks = []
+        for item in context.module.items:
+            if isinstance(item, ast.ContinuousAssign):
+                checks.append((item.target, item.value, item.location))
+            elif isinstance(item, ast.Always):
+                for assign in _assignments_in(item.body):
+                    checks.append(
+                        (assign.target, assign.value, assign.location)
+                    )
+        for target, value, location in checks:
+            target_width = expr_width(target) if not isinstance(
+                target, ast.Concat
+            ) else expr_width(target)
+            value_width = expr_width(value)
+            if target_width is None or value_width is None:
+                continue
+            if value_width > target_width:
+                yield _diagnostic(
+                    "warning", "WIDTHTRUNC",
+                    f"assignment truncates {value_width} bits to "
+                    f"{target_width}",
+                    location,
+                )
+            elif value_width < target_width and not isinstance(
+                value, ast.Number
+            ):
+                yield _diagnostic(
+                    "warning", "WIDTHEXPAND",
+                    f"assignment expands {value_width} bits to "
+                    f"{target_width}",
+                    location,
+                )
+
+
+class LatchRule(Rule):
+    """Combinational block where a signal is not assigned on all paths."""
+
+    code = "LATCH"
+
+    def check(self, context):
+        for item in context.module.items:
+            if not isinstance(item, ast.Always):
+                continue
+            if item.sensitivity.is_clocked:
+                continue
+            all_targets = set()
+            for assign in _assignments_in(item.body):
+                all_targets.update(_lhs_base_names(assign.target))
+            complete = self._always_assigned(item.body)
+            for name in sorted(all_targets - complete):
+                if context.kind_of(name) in ("reg", None):
+                    yield _diagnostic(
+                        "warning", "LATCH",
+                        f"'{name}' is not assigned on all paths of a "
+                        f"combinational block (latch inferred)",
+                        item.location,
+                    )
+
+    def _always_assigned(self, stmt):
+        """Set of names assigned on *every* path through ``stmt``."""
+        if isinstance(stmt, ast.Block):
+            assigned = set()
+            for inner in stmt.statements:
+                assigned |= self._always_assigned(inner)
+            return assigned
+        if isinstance(stmt, ast.Assign):
+            return set(_lhs_base_names(stmt.target))
+        if isinstance(stmt, ast.If):
+            if stmt.else_stmt is None:
+                return set()
+            return self._always_assigned(stmt.then_stmt) & \
+                self._always_assigned(stmt.else_stmt)
+        if isinstance(stmt, ast.Case):
+            has_default = any(item.is_default for item in stmt.items)
+            if not has_default or not stmt.items:
+                return set()
+            result = None
+            for item in stmt.items:
+                branch = self._always_assigned(item.body)
+                result = branch if result is None else (result & branch)
+            return result or set()
+        if isinstance(stmt, ast.For):
+            return self._always_assigned(stmt.body)
+        return set()
+
+
+class MultiDrivenRule(Rule):
+    """A signal driven from more than one always block / assign."""
+
+    code = "MULTIDRIVEN"
+
+    def check(self, context):
+        drivers = {}
+        for item in context.module.items:
+            targets = set()
+            if isinstance(item, ast.ContinuousAssign):
+                targets.update(_lhs_base_names(item.target))
+            elif isinstance(item, ast.Always):
+                for assign in _assignments_in(item.body):
+                    targets.update(_lhs_base_names(assign.target))
+            for name in targets:
+                drivers.setdefault(name, []).append(item)
+        for name, items in sorted(drivers.items()):
+            if len(items) > 1 and name not in context.memories:
+                yield _diagnostic(
+                    "warning", "MULTIDRIVEN",
+                    f"signal '{name}' has {len(items)} drivers",
+                    items[1].location,
+                )
+
+
+class CaseIncompleteRule(Rule):
+    """Case statement without default that doesn't cover all values."""
+
+    code = "CASEINCOMPLETE"
+
+    def check(self, context):
+        for item in context.module.items:
+            if not isinstance(item, ast.Always):
+                continue
+            for node in item.body.walk():
+                if not isinstance(node, ast.Case):
+                    continue
+                if any(ci.is_default for ci in node.items):
+                    continue
+                label_count = sum(len(ci.labels) for ci in node.items)
+                subject_width = None
+                if isinstance(node.subject, ast.Identifier):
+                    entry = context.declared.get(node.subject.name)
+                    if entry and entry["decl"].range is not None:
+                        msb = _const_value(entry["decl"].range.msb)
+                        lsb = _const_value(entry["decl"].range.lsb)
+                        if msb is not None and lsb is not None:
+                            subject_width = abs(msb - lsb) + 1
+                    elif entry:
+                        subject_width = 1
+                if subject_width is None or label_count < (1 << subject_width):
+                    yield _diagnostic(
+                        "warning", "CASEINCOMPLETE",
+                        "case statement has no default and does not cover "
+                        "all values",
+                        node.location,
+                    )
+
+
+class UnusedRule(Rule):
+    """Declared but never read signals (excluding outputs)."""
+
+    code = "UNUSED"
+
+    def check(self, context):
+        read = set()
+        written = set()
+        for item in context.module.items:
+            if isinstance(item, (ast.Always, ast.Initial)):
+                if isinstance(item, ast.Always):
+                    read |= _read_identifiers(item)
+                    for _, expr in item.sensitivity.events:
+                        if isinstance(expr, ast.Identifier):
+                            read.add(expr.name)
+                else:
+                    read |= {
+                        n.name for n in item.walk()
+                        if isinstance(n, ast.Identifier)
+                    }
+                for assign in _assignments_in(
+                    item.body if hasattr(item, "body") else item
+                ):
+                    written.update(_lhs_base_names(assign.target))
+            elif isinstance(item, ast.ContinuousAssign):
+                for node in item.value.walk():
+                    if isinstance(node, ast.Identifier):
+                        read.add(node.name)
+                written.update(_lhs_base_names(item.target))
+            elif isinstance(item, ast.Instance):
+                for conn in item.connections:
+                    if conn.expr is not None:
+                        for node in conn.expr.walk():
+                            if isinstance(node, ast.Identifier):
+                                read.add(node.name)
+                                written.add(node.name)
+        outputs = {
+            name for name, entry in context.declared.items()
+            if entry["direction"] in ("output", "inout")
+        }
+        for name, entry in sorted(context.declared.items()):
+            if entry["direction"] == "input":
+                if name not in read:
+                    yield _diagnostic(
+                        "warning", "UNUSEDSIGNAL",
+                        f"input '{name}' is never used",
+                        entry["decl"].location,
+                    )
+            elif name not in outputs and name not in read and \
+                    name in written:
+                yield _diagnostic(
+                    "warning", "UNUSEDSIGNAL",
+                    f"signal '{name}' is written but never read",
+                    entry["decl"].location,
+                )
+
+
+class UndrivenRule(Rule):
+    """Outputs that are never assigned."""
+
+    code = "UNDRIVEN"
+
+    def check(self, context):
+        written = set()
+        for item in context.module.items:
+            if isinstance(item, (ast.Always, ast.Initial)):
+                for assign in _assignments_in(item.body):
+                    written.update(_lhs_base_names(assign.target))
+            elif isinstance(item, ast.ContinuousAssign):
+                written.update(_lhs_base_names(item.target))
+            elif isinstance(item, ast.Instance):
+                for conn in item.connections:
+                    if conn.expr is not None:
+                        written.update(_lhs_base_names(conn.expr))
+        for name, entry in sorted(context.declared.items()):
+            if entry["direction"] == "output" and name not in written:
+                yield _diagnostic(
+                    "warning", "UNDRIVEN",
+                    f"output '{name}' is never driven",
+                    entry["decl"].location,
+                )
+
+
+class PortConnectRule(Rule):
+    """Instance connections must match the instantiated module's ports."""
+
+    code = "PORTCONNECT"
+
+    def check(self, context):
+        for item in context.module.items:
+            if not isinstance(item, ast.Instance):
+                continue
+            target = context.source_file.find_module(item.module_name)
+            if target is None:
+                yield _diagnostic(
+                    "error", "MODNOTFOUND",
+                    f"module '{item.module_name}' is not defined",
+                    item.location,
+                )
+                continue
+            port_names = set(target.port_names())
+            seen = set()
+            for conn in item.connections:
+                if not conn.name:
+                    continue
+                if conn.name not in port_names:
+                    yield _diagnostic(
+                        "error", "PORTCONNECT",
+                        f"module '{item.module_name}' has no port "
+                        f"'{conn.name}'",
+                        conn.location,
+                    )
+                elif conn.name in seen:
+                    yield _diagnostic(
+                        "error", "PORTCONNECT",
+                        f"port '{conn.name}' connected twice",
+                        conn.location,
+                    )
+                seen.add(conn.name)
+            positional = [c for c in item.connections if not c.name]
+            if positional and len(item.connections) != len(target.ports):
+                yield _diagnostic(
+                    "error", "PORTCONNECT",
+                    f"instance '{item.name}' has "
+                    f"{len(item.connections)} connections but "
+                    f"'{item.module_name}' has {len(target.ports)} ports",
+                    item.location,
+                )
+
+
+def _const_value(expr):
+    """Fold a simple constant expression; None if not constant."""
+    if isinstance(expr, ast.Number):
+        return expr.value
+    if isinstance(expr, ast.Binary):
+        left = _const_value(expr.left)
+        right = _const_value(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": left + right, "-": left - right, "*": left * right,
+                "/": left // right if right else None,
+            }.get(expr.op)
+        except TypeError:
+            return None
+    return None
+
+
+ALL_RULES = [
+    UndeclaredRule(),
+    ProceduralWireRule(),
+    ContinuousRegRule(),
+    CombDelayRule(),
+    BlockingSeqRule(),
+    SensitivityRule(),
+    SyncAsyncRule(),
+    WidthRule(),
+    LatchRule(),
+    MultiDrivenRule(),
+    CaseIncompleteRule(),
+    UnusedRule(),
+    UndrivenRule(),
+    PortConnectRule(),
+]

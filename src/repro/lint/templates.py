@@ -1,0 +1,130 @@
+"""Script templates for warning fixes (paper Algorithm 1, lines 8-10).
+
+The paper pairs the LLM (for syntax errors) with cheap scripted fixes for
+"focused timing-related warnings".  Each template takes the source text
+plus a diagnostic and rewrites the offending construct:
+
+- ``COMBDLY`` — non-blocking ``<=`` in combinational logic becomes ``=``;
+- ``BLKSEQ`` — blocking ``=`` in clocked logic becomes ``<=``;
+- ``SENSMISS`` — an incomplete sensitivity list becomes ``@(*)``.
+
+Fixes are applied textually at the diagnostic's line so the rest of the
+file (comments, formatting) is untouched — exactly how a sed-style
+script in the paper's toolchain behaves.
+"""
+
+import re
+
+#: Warning codes the scripted templates can repair.
+FIXABLE_WARNINGS = ("COMBDLY", "BLKSEQ", "SENSMISS", "SYNCASYNC")
+
+
+def _fix_combdly(line, hint=""):
+    """Rewrite the first non-blocking assignment on the line to blocking.
+
+    Careful not to touch ``<=`` used as less-equal: an assignment's
+    ``<=`` is preceded by an identifier/bracket and is the statement's
+    first operator; a comparison lives inside parentheses of a
+    surrounding ``if``/``while``.  The lint rule only fires on assignment
+    statements, so the first ``<=`` outside parentheses is the one.
+    """
+    depth = 0
+    i = 0
+    while i < len(line) - 1:
+        ch = line[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0 and line[i] == "<" and line[i + 1] == "=":
+            return line[:i] + "=" + line[i + 2:]
+        i += 1
+    return line
+
+
+def _fix_blkseq(line, hint=""):
+    """Rewrite the first blocking assignment on the line to non-blocking."""
+    depth = 0
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif depth == 0 and ch == "=":
+            before = line[i - 1] if i else ""
+            after = line[i + 1] if i + 1 < len(line) else ""
+            if before not in "<>!=" and after != "=":
+                return line[:i] + "<=" + line[i + 1:]
+        i += 1
+    return line
+
+
+_SENS_PATTERN = re.compile(r"@\s*\([^)]*\)")
+
+
+def _fix_sensmiss(line, hint=""):
+    """Replace an explicit level-sensitivity list with ``@(*)``."""
+    return _SENS_PATTERN.sub("@(*)", line, count=1)
+
+
+_ADD_EDGE = re.compile(r"@\s*\(\s*(posedge\s+\w+)\s*\)")
+
+
+def _fix_syncasync(line, hint=""):
+    """Add the missing asynchronous reset edge to the sensitivity list.
+
+    The diagnostic hint carries the exact edge to add (e.g.
+    ``add 'or negedge rst_n'``).
+    """
+    match = re.search(r"add 'or (negedge \w+)'", hint)
+    if not match:
+        return line
+    edge = match.group(1)
+    return _ADD_EDGE.sub(lambda m: f"@({m.group(1)} or {edge})", line, count=1)
+
+
+_FIXERS = {
+    "COMBDLY": _fix_combdly,
+    "BLKSEQ": _fix_blkseq,
+    "SENSMISS": _fix_sensmiss,
+    "SYNCASYNC": _fix_syncasync,
+}
+
+
+def apply_warning_template(source, diagnostic):
+    """Apply the template for one diagnostic; returns the new source.
+
+    Returns the source unchanged when no template exists for the
+    diagnostic's code or the location is out of range.
+    """
+    fixer = _FIXERS.get(diagnostic.code)
+    if fixer is None:
+        return source
+    lines = source.splitlines()
+    index = diagnostic.location.line - 1
+    if index < 0 or index >= len(lines):
+        return source
+    fixed = fixer(lines[index], diagnostic.hint)
+    if fixed == lines[index]:
+        return source
+    lines[index] = fixed
+    return "\n".join(lines) + ("\n" if source.endswith("\n") else "")
+
+
+def apply_warning_templates(source, diagnostics):
+    """Apply all applicable templates, one line-edit at a time.
+
+    Diagnostics are applied bottom-up so earlier edits cannot shift later
+    locations.  Returns ``(new_source, number_of_fixes_applied)``.
+    """
+    fixable = [d for d in diagnostics if d.code in _FIXERS]
+    fixable.sort(key=lambda d: d.location.line, reverse=True)
+    applied = 0
+    for diagnostic in fixable:
+        updated = apply_warning_template(source, diagnostic)
+        if updated != source:
+            applied += 1
+            source = updated
+    return source, applied

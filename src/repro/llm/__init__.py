@@ -1,0 +1,38 @@
+"""LLM layer: client interface, prompts, structured output, mock model.
+
+The :class:`LLMClient` interface matches what an OpenAI-API wrapper
+would expose (prompt in, text + token counts out).  The default
+implementation is :class:`MockLLM` — a deterministic simulated LLM whose
+repair competence genuinely depends on the error information quality in
+the prompt (see DESIGN.md, substitutions).  Swapping in a real API
+client requires implementing ``complete`` only.
+"""
+
+from repro.llm.client import LLMClient, LLMResponse, TokenBudget
+from repro.llm.schema import (
+    REPAIR_SCHEMA,
+    SchemaValidationError,
+    parse_structured_response,
+    validate_schema,
+)
+from repro.llm.prompts import (
+    build_repair_prompt,
+    build_syntax_prompt,
+    extract_section,
+)
+from repro.llm.mock import MockLLM, MockLLMProfile
+
+__all__ = [
+    "LLMClient",
+    "LLMResponse",
+    "TokenBudget",
+    "REPAIR_SCHEMA",
+    "SchemaValidationError",
+    "parse_structured_response",
+    "validate_schema",
+    "build_repair_prompt",
+    "build_syntax_prompt",
+    "extract_section",
+    "MockLLM",
+    "MockLLMProfile",
+]

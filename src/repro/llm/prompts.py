@@ -1,0 +1,106 @@
+"""Prompt construction (paper Fig. 4).
+
+Every agent prompt is assembled from clearly delimited sections
+(specification, DUT code, error information, damage repairs, repair
+instructions).  The section markers double as the machine-readable
+interface the mock LLM parses — exactly the "standard interfaces
+between the pipelines" modularity the paper describes.
+"""
+
+SECTION_SPEC = "## SPECIFICATION"
+SECTION_CODE = "## DUT CODE"
+SECTION_ERROR = "## ERROR INFORMATION"
+SECTION_DAMAGE = "## DAMAGE REPAIRS"
+SECTION_INSTRUCTIONS = "## REPAIR INSTRUCTIONS"
+
+_SYSTEM_PREAMBLE = (
+    "You are an expert in Verilog verification and RTL debugging. "
+    "Analyze the design below, locate the error, and propose a minimal "
+    "repair."
+)
+
+_PAIR_INSTRUCTIONS = (
+    "Respond ONLY with JSON matching this schema: "
+    '{"module_name": string, "analysis": string, '
+    '"correct": [[original_code, patched_code], ...]}. '
+    "Each pair must quote an exact line (or contiguous lines) from the "
+    "DUT and its replacement."
+)
+
+_COMPLETE_INSTRUCTIONS = (
+    "Respond ONLY with JSON matching this schema: "
+    '{"module_name": string, "analysis": string, "code": string}. '
+    "The 'code' element must contain the complete corrected module."
+)
+
+
+def build_syntax_prompt(source, lint_output, spec=None, patch_form="pair"):
+    """Prompt for the pre-processing syntax-fix agent (Algorithm 1).
+
+    ``patch_form="complete"`` requests whole-module regeneration (how
+    MEIC-style baselines consume syntax fixes).
+    """
+    parts = [_SYSTEM_PREAMBLE]
+    if spec:
+        parts.extend([SECTION_SPEC, spec])
+    instructions = (
+        _PAIR_INSTRUCTIONS if patch_form == "pair" else _COMPLETE_INSTRUCTIONS
+    )
+    parts.extend([
+        SECTION_CODE, source,
+        SECTION_ERROR,
+        "The linter reported the following problems:",
+        lint_output,
+        SECTION_INSTRUCTIONS,
+        "Fix ALL syntax errors. Do not change the design's intended "
+        "behaviour. " + instructions,
+    ])
+    return "\n".join(parts)
+
+
+def build_repair_prompt(source, spec, error_summary, damage_repairs=None,
+                        patch_form="pair"):
+    """Prompt for the functional repair agent (Fig. 4).
+
+    ``damage_repairs`` lists previously attempted patches that lowered
+    the score (from the rollback register); the agent must avoid them.
+    ``patch_form`` selects original-patch pairs vs complete-code output
+    (the Table III ablation).
+    """
+    parts = [_SYSTEM_PREAMBLE, SECTION_SPEC, spec, SECTION_CODE, source,
+             SECTION_ERROR, error_summary]
+    if damage_repairs:
+        parts.append(SECTION_DAMAGE)
+        parts.append(
+            "The following patches were tried and REDUCED the test pass "
+            "rate. Do not propose them again:"
+        )
+        for original, patched in damage_repairs:
+            parts.append(f"- BAD: `{original.strip()}` -> `{patched.strip()}`")
+    parts.append(SECTION_INSTRUCTIONS)
+    if patch_form == "pair":
+        parts.append(
+            "Repair the functional error indicated by the mismatch "
+            "information. " + _PAIR_INSTRUCTIONS
+        )
+    else:
+        parts.append(
+            "Repair the functional error indicated by the mismatch "
+            "information. " + _COMPLETE_INSTRUCTIONS
+        )
+    return "\n".join(parts)
+
+
+def extract_section(prompt, header):
+    """Pull one delimited section back out of a prompt.
+
+    Returns the text between ``header`` and the next ``## `` header (or
+    end of prompt); empty string when the section is absent.
+    """
+    start = prompt.find(header)
+    if start < 0:
+        return ""
+    start += len(header)
+    next_header = prompt.find("\n## ", start)
+    section = prompt[start:next_header] if next_header >= 0 else prompt[start:]
+    return section.strip("\n")

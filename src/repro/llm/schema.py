@@ -1,0 +1,113 @@
+"""Structured-output handling (paper Fig. 4 / Section III-D).
+
+The repair agents require responses in JSON conforming to a schema with
+a ``correct`` element holding original/patched code pairs.  This module
+carries the schema, a small JSON-Schema-subset validator (type,
+required, properties, items, enum, minItems), and a tolerant parser
+that strips markdown fences the way production harnesses do.
+"""
+
+import json
+
+#: The repair-agent output schema (Fig. 4).
+REPAIR_SCHEMA = {
+    "type": "object",
+    "required": ["module_name", "analysis", "correct"],
+    "properties": {
+        "module_name": {"type": "string"},
+        "analysis": {"type": "string"},
+        "correct": {
+            "type": "array",
+            "items": {
+                "type": "array",
+                "items": {"type": "string"},
+                "minItems": 2,
+            },
+        },
+    },
+}
+
+#: Whole-module regeneration schema (ablation UVLLM_comp, Table III).
+COMPLETE_SCHEMA = {
+    "type": "object",
+    "required": ["module_name", "analysis", "code"],
+    "properties": {
+        "module_name": {"type": "string"},
+        "analysis": {"type": "string"},
+        "code": {"type": "string"},
+    },
+}
+
+
+class SchemaValidationError(Exception):
+    """The response does not conform to the requested schema."""
+
+
+def validate_schema(data, schema, path="$"):
+    """Validate ``data`` against the supported JSON-Schema subset.
+
+    Raises :class:`SchemaValidationError` with a JSON-path on failure;
+    returns ``data`` on success.
+    """
+    expected = schema.get("type")
+    if expected == "object":
+        if not isinstance(data, dict):
+            raise SchemaValidationError(f"{path}: expected object")
+        for key in schema.get("required", []):
+            if key not in data:
+                raise SchemaValidationError(
+                    f"{path}: missing required key '{key}'"
+                )
+        for key, sub in schema.get("properties", {}).items():
+            if key in data:
+                validate_schema(data[key], sub, f"{path}.{key}")
+    elif expected == "array":
+        if not isinstance(data, list):
+            raise SchemaValidationError(f"{path}: expected array")
+        minimum = schema.get("minItems")
+        if minimum is not None and len(data) < minimum:
+            raise SchemaValidationError(
+                f"{path}: expected at least {minimum} items"
+            )
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for index, item in enumerate(data):
+                validate_schema(item, item_schema, f"{path}[{index}]")
+    elif expected == "string":
+        if not isinstance(data, str):
+            raise SchemaValidationError(f"{path}: expected string")
+    elif expected == "integer":
+        if not isinstance(data, int) or isinstance(data, bool):
+            raise SchemaValidationError(f"{path}: expected integer")
+    elif expected == "number":
+        if not isinstance(data, (int, float)) or isinstance(data, bool):
+            raise SchemaValidationError(f"{path}: expected number")
+    elif expected == "boolean":
+        if not isinstance(data, bool):
+            raise SchemaValidationError(f"{path}: expected boolean")
+    if "enum" in schema and data not in schema["enum"]:
+        raise SchemaValidationError(f"{path}: {data!r} not in enum")
+    return data
+
+
+def parse_structured_response(text, schema=REPAIR_SCHEMA):
+    """Parse an LLM response into validated JSON.
+
+    Tolerates ```json fences and leading/trailing prose (finds the
+    outermost ``{...}``), then validates against ``schema``.
+    """
+    stripped = text.strip()
+    if stripped.startswith("```"):
+        first_newline = stripped.find("\n")
+        stripped = stripped[first_newline + 1:]
+        if stripped.rstrip().endswith("```"):
+            stripped = stripped.rstrip()[:-3]
+    start = stripped.find("{")
+    end = stripped.rfind("}")
+    if start < 0 or end < start:
+        raise SchemaValidationError("no JSON object found in response")
+    try:
+        data = json.loads(stripped[start:end + 1])
+    except json.JSONDecodeError as exc:
+        raise SchemaValidationError(f"invalid JSON: {exc}") from exc
+    return validate_schema(data, schema)

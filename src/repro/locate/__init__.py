@@ -1,0 +1,21 @@
+"""Error localization: static DFG + time-aware dynamic slicing.
+
+Implements the paper's post-processing stage (Algorithm 2): mismatch
+timestamps and signals are pulled from the UVM log, input values are
+read from the simulation waveform at those timestamps, and suspicious
+code lines are found by traversing the data-flow graph backwards from
+each mismatching signal, ranked by which paths were actually active.
+"""
+
+from repro.locate.dfg import DataFlowGraph, build_dfg
+from repro.locate.slicing import SuspiciousLine, dynamic_slice
+from repro.locate.engine import ErrorInfo, LocalizationEngine
+
+__all__ = [
+    "DataFlowGraph",
+    "build_dfg",
+    "SuspiciousLine",
+    "dynamic_slice",
+    "ErrorInfo",
+    "LocalizationEngine",
+]

@@ -1,0 +1,6 @@
+"""Evaluation metrics: Hit Rate, Fix Rate, and the execution-time model."""
+
+from repro.metrics.rates import hit_rate, fix_rate, RateSummary
+from repro.metrics.timing import SimClock, TimingModel
+
+__all__ = ["hit_rate", "fix_rate", "RateSummary", "SimClock", "TimingModel"]

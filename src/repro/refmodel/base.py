@@ -1,0 +1,48 @@
+"""Reference model base classes.
+
+A reference model is the high-level golden behaviour of one DUT.  The
+scoreboard calls ``step(inputs, reset=...)`` once per sample point (per
+clock cycle for clocked DUTs); the model updates its architectural state
+and returns the expected outputs *after* that cycle's clock edge —
+i.e. exactly what the monitor samples.
+
+Returning ``None`` for an output marks it don't-care for that cycle.
+"""
+
+
+def mask(width):
+    """All-ones mask of ``width`` bits."""
+    return (1 << width) - 1
+
+
+def to_signed(value, width):
+    """Interpret ``value``'s low ``width`` bits as two's complement."""
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+class ReferenceModel:
+    """Base class for clocked (stateful) reference models."""
+
+    def reset(self):
+        """Return to the post-reset architectural state."""
+        raise NotImplementedError
+
+    def step(self, inputs, reset=False):
+        """Advance one clock cycle; return expected outputs."""
+        raise NotImplementedError
+
+
+class CombModel(ReferenceModel):
+    """Base class for combinational models: outputs = f(inputs)."""
+
+    def reset(self):
+        """Combinational models hold no state."""
+
+    def compute(self, inputs):
+        raise NotImplementedError
+
+    def step(self, inputs, reset=False):
+        return self.compute(inputs)

@@ -1,0 +1,64 @@
+"""Reference-model "generation" from specifications.
+
+Paper III-B: *"LLMs have shown remarkable proficiency in generating
+C/C++ code, making them well-suited to assist in crafting adaptable,
+high-quality reference models."*  With no LLM API available in this
+environment, generation is simulated: the generator accepts a
+specification, verifies it names a known benchmark design, and returns
+that design's golden model — the same artifact a correct LLM generation
+would produce.  The LLM client interface is still exercised (prompt in,
+structured response out) so a real model can be substituted.
+"""
+
+import re
+
+
+class ReferenceModelGenerationError(Exception):
+    """Raised when no model can be produced for a specification."""
+
+
+class ReferenceModelGenerator:
+    """Produces a reference model from a natural-language spec.
+
+    ``llm`` is any :class:`repro.llm.client.LLMClient`; it is consulted
+    for the *form* of the exchange (and its token accounting feeds the
+    execution-time model), while the model registry provides the
+    behaviour.
+    """
+
+    def __init__(self, llm=None, registry=None):
+        self.llm = llm
+        if registry is None:
+            from repro.bench.registry import MODEL_FACTORIES
+
+            registry = MODEL_FACTORIES
+        self.registry = registry
+
+    def generate(self, spec):
+        """Return a fresh reference model instance for ``spec``."""
+        name = self._identify_design(spec)
+        if name is None:
+            raise ReferenceModelGenerationError(
+                "specification does not identify a known design"
+            )
+        if self.llm is not None:
+            prompt = (
+                "You are an expert verification engineer. Generate a "
+                "cycle-accurate C++ reference model for the following "
+                f"specification:\n{spec}\n"
+                "Return only the code."
+            )
+            self.llm.complete(prompt, task="refmodel")
+        factory = self.registry[name]
+        model = factory()
+        model.reset()
+        return model
+
+    def _identify_design(self, spec):
+        match = re.search(r"Module name:\s*(\w+)", spec)
+        if match and match.group(1) in self.registry:
+            return match.group(1)
+        for name in self.registry:
+            if re.search(rf"\b{re.escape(name)}\b", spec):
+                return name
+        return None

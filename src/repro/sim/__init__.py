@@ -1,0 +1,21 @@
+"""Event-driven 4-state Verilog simulator.
+
+This package plays the role of VCS / Icarus / ModelSim in the paper's
+setup: it elaborates a parsed design into signals and processes, then
+simulates it with delta cycles and a non-blocking-assignment region.
+Every signal keeps a value-change trace, which is the waveform the
+localization engine (Algorithm 2) slices over.
+"""
+
+from repro.sim.values import Value, X
+from repro.sim.elaborate import Design, elaborate
+from repro.sim.engine import Simulator, SimulationError
+
+__all__ = [
+    "Value",
+    "X",
+    "Design",
+    "elaborate",
+    "Simulator",
+    "SimulationError",
+]

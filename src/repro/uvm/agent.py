@@ -1,0 +1,33 @@
+"""The agent: sequencer + driver + monitor."""
+
+from repro.uvm.driver import Driver
+from repro.uvm.monitor import Monitor
+from repro.uvm.sequencer import Sequencer
+
+
+class Agent:
+    """Bundles the sequencer, driver and monitor for one interface.
+
+    Mirrors the ``in_agt``/``out_agt`` pairing of Fig. 3: the input side
+    (sequencer + driver) stimulates the DUT, the output side (monitor)
+    observes it.
+    """
+
+    def __init__(self, simulator, sequence, protocol, monitored_signals):
+        self.sequencer = Sequencer(sequence)
+        self.driver = Driver(simulator, protocol)
+        self.monitor = Monitor(simulator, monitored_signals)
+
+    def run(self, per_sample):
+        """Run the whole sequence.
+
+        ``per_sample(txn, cycle, time, observed)`` is invoked at every
+        sample point with the monitor's observation.
+        """
+        def hook(txn, cycle):
+            time, observed = self.monitor.sample()
+            per_sample(txn, cycle, time, observed)
+
+        self.driver.apply_reset()
+        for txn in self.sequencer.item_stream():
+            self.driver.drive(txn, hook)

@@ -1,0 +1,94 @@
+"""Functional coverage collection.
+
+A light covergroup model: each :class:`CoverPoint` defines bins over one
+signal; the :class:`Coverage` collector samples alongside the monitor.
+The paper leans on UVM's "efficient coverage collection" to claim that
+*all* injected errors are actually triggered — the experiments assert
+near-100% coverage of the stimulus bins before trusting a pass.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class CoverPoint:
+    """Bins over one signal's sampled values."""
+
+    signal: str
+    bins: List[Tuple[int, int]]  # inclusive (lo, hi) ranges
+    hits: dict = field(default_factory=dict)
+
+    @staticmethod
+    def auto(signal, width, bin_count=4):
+        """Quartile bins over the signal's value range + corner bins."""
+        top = (1 << width) - 1
+        if top < bin_count:
+            bins = [(v, v) for v in range(top + 1)]
+        else:
+            step = (top + 1) // bin_count
+            bins = [
+                (i * step, (top if i == bin_count - 1 else (i + 1) * step - 1))
+                for i in range(bin_count)
+            ]
+            bins.append((0, 0))
+            bins.append((top, top))
+        return CoverPoint(signal=signal, bins=bins)
+
+    def sample(self, value):
+        for index, (lo, hi) in enumerate(self.bins):
+            if lo <= value <= hi:
+                self.hits[index] = self.hits.get(index, 0) + 1
+
+    @property
+    def covered(self):
+        return len(self.hits)
+
+    @property
+    def total(self):
+        return len(self.bins)
+
+    @property
+    def coverage(self):
+        if not self.bins:
+            return 1.0
+        return self.covered / self.total
+
+
+class Coverage:
+    """A covergroup: a set of coverpoints sampled together."""
+
+    def __init__(self, points=None):
+        self.points = list(points or [])
+
+    def add_point(self, point):
+        self.points.append(point)
+
+    def sample(self, values):
+        """Sample all points from a {signal: int-or-Value} dict."""
+        for point in self.points:
+            value = values.get(point.signal)
+            if value is None:
+                continue
+            if hasattr(value, "has_x"):
+                if value.has_x:
+                    continue
+                value = value.to_int()
+            point.sample(value)
+
+    @property
+    def coverage(self):
+        """Aggregate coverage in [0, 1]."""
+        if not self.points:
+            return 1.0
+        return sum(p.coverage for p in self.points) / len(self.points)
+
+    def report(self):
+        lines = []
+        for point in self.points:
+            lines.append(
+                f"coverpoint {point.signal}: {point.covered}/{point.total} "
+                f"bins ({100.0 * point.coverage:.1f}%)"
+            )
+        lines.append(f"TOTAL: {100.0 * self.coverage:.1f}%")
+        return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""The environment: agent + scoreboard + coverage wiring."""
+
+from repro.uvm.agent import Agent
+from repro.uvm.coverage import Coverage, CoverPoint
+from repro.uvm.scoreboard import Scoreboard
+
+
+class Environment:
+    """Builds and connects all verification components for one DUT run."""
+
+    def __init__(self, simulator, sequence, protocol, reference_model,
+                 compare_signals, coverage=None, log=None):
+        self.sim = simulator
+        self.agent = Agent(simulator, sequence, protocol, compare_signals)
+        self.scoreboard = Scoreboard(reference_model, compare_signals, log)
+        if coverage is None:
+            coverage = Coverage()
+            for name in simulator.input_names():
+                if protocol.clock == name or protocol.reset == name:
+                    continue
+                coverage.add_point(
+                    CoverPoint.auto(name, simulator.signal_width(name))
+                )
+        self.coverage = coverage
+
+    def run(self):
+        """Execute the sequence; returns the scoreboard."""
+        self.scoreboard.reset()
+
+        def per_sample(txn, cycle, time, observed):
+            self.scoreboard.check(txn, cycle, time, observed)
+            sample_values = dict(txn.fields)
+            self.coverage.sample(sample_values)
+
+        self.agent.run(per_sample)
+        return self.scoreboard

@@ -1,0 +1,104 @@
+"""UVM log: the textual artifact the localization engine mines.
+
+Entries render in the classic simulator style::
+
+    UVM_INFO @ 125: [SCOREBOARD] txn 12 PASS
+    UVM_ERROR @ 135: [SCOREBOARD] mismatch signal 'sum' expected 8'h2d actual 8'h31
+
+Algorithm 2's ``getMismatch(LUVM, PAT_MS)`` is :meth:`UVMLog.mismatches`
+— the same regex-style extraction the paper performs on real UVM logs.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class LogEntry:
+    """One log line."""
+
+    severity: str  # UVM_INFO | UVM_WARNING | UVM_ERROR | UVM_FATAL
+    time: int
+    component: str
+    message: str
+    signal: Optional[str] = None
+    expected: Optional[str] = None
+    actual: Optional[str] = None
+    txn_id: Optional[int] = None
+
+    def format(self):
+        return (
+            f"{self.severity} @ {self.time}: [{self.component}] "
+            f"{self.message}"
+        )
+
+
+#: The PAT_MS pattern of Algorithm 2: mismatch lines carry the signal
+#: name plus expected/actual values.
+PAT_MS = re.compile(
+    r"UVM_ERROR @ (?P<time>\d+): \[(?P<component>\w+)\] mismatch signal "
+    r"'(?P<signal>\w+)' expected (?P<expected>\S+) actual (?P<actual>\S+)"
+)
+
+
+@dataclass
+class UVMLog:
+    """An in-memory UVM log with text round-tripping."""
+
+    entries: List[LogEntry] = field(default_factory=list)
+
+    def info(self, time, component, message, **kw):
+        self.entries.append(LogEntry("UVM_INFO", time, component, message, **kw))
+
+    def warning(self, time, component, message, **kw):
+        self.entries.append(
+            LogEntry("UVM_WARNING", time, component, message, **kw)
+        )
+
+    def error(self, time, component, message, **kw):
+        self.entries.append(
+            LogEntry("UVM_ERROR", time, component, message, **kw)
+        )
+
+    @property
+    def error_count(self):
+        return sum(1 for e in self.entries if e.severity == "UVM_ERROR")
+
+    def format(self):
+        return "\n".join(entry.format() for entry in self.entries)
+
+    def mismatches(self):
+        """All mismatch entries (time, signal, expected, actual)."""
+        result = []
+        for entry in self.entries:
+            if entry.severity == "UVM_ERROR" and entry.signal is not None:
+                result.append(entry)
+        return result
+
+    @staticmethod
+    def parse(text):
+        """Re-parse a formatted log (PAT_MS extraction from plain text)."""
+        log = UVMLog()
+        for line in text.splitlines():
+            match = PAS_LINE.match(line)
+            if match is None:
+                continue
+            severity = match.group("severity")
+            time = int(match.group("time"))
+            component = match.group("component")
+            message = match.group("message")
+            entry = LogEntry(severity, time, component, message)
+            mismatch = PAT_MS.match(line)
+            if mismatch:
+                entry.signal = mismatch.group("signal")
+                entry.expected = mismatch.group("expected")
+                entry.actual = mismatch.group("actual")
+            log.entries.append(entry)
+        return log
+
+
+PAS_LINE = re.compile(
+    r"(?P<severity>UVM_\w+) @ (?P<time>\d+): \[(?P<component>\w+)\] "
+    r"(?P<message>.*)"
+)

@@ -1,0 +1,24 @@
+"""The monitor: output sampling."""
+
+
+class Monitor:
+    """Samples a set of DUT output signals through the simulator.
+
+    Produces ``(time, {signal: Value})`` observations; the scoreboard
+    consumes these and the raw values also feed functional coverage.
+    """
+
+    def __init__(self, simulator, signals):
+        self.sim = simulator
+        self.signals = list(signals)
+        self.observations = []
+
+    def sample(self):
+        """Take one observation of all monitored signals."""
+        values = {name: self.sim.get(name) for name in self.signals}
+        observation = (self.sim.time, values)
+        self.observations.append(observation)
+        return observation
+
+    def last(self):
+        return self.observations[-1] if self.observations else None

@@ -1,0 +1,99 @@
+"""Top-level UVM test execution.
+
+``run_uvm_test`` is UVLLM's "UVM Processing" stage (Fig. 2, step 2): it
+elaborates the DUT, runs the environment, and returns a
+:class:`TestResult` carrying the pass rate (the Score Reg. input), the
+UVM log, the mismatch records, and the waveform trace that the
+localization engine slices.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.hdl.errors import HdlError
+from repro.uvm.env import Environment
+from repro.uvm.log import UVMLog
+from repro.uvm.scoreboard import MismatchRecord
+
+
+@dataclass
+class TestResult:
+    """Outcome of one UVM run against one DUT source."""
+
+    ok: bool                     # the run executed (not: the DUT passed)
+    pass_rate: float = 0.0
+    mismatches: List[MismatchRecord] = field(default_factory=list)
+    log: UVMLog = field(default_factory=UVMLog)
+    coverage: float = 0.0
+    trace: dict = field(default_factory=dict)
+    simulator: Optional[Simulator] = None
+    error: str = ""
+    checked: int = 0
+
+    @property
+    def all_passed(self):
+        return self.ok and self.checked > 0 and not self.mismatches
+
+    @property
+    def mismatch_signals(self):
+        seen = []
+        for record in self.mismatches:
+            if record.signal not in seen:
+                seen.append(record.signal)
+        return seen
+
+
+class UVMTest:
+    """A configured test: DUT source + sequence + protocol + ref model."""
+
+    def __init__(self, source, sequence, protocol, reference_model,
+                 compare_signals, top=None):
+        self.source = source
+        self.sequence = sequence
+        self.protocol = protocol
+        self.reference_model = reference_model
+        self.compare_signals = list(compare_signals)
+        self.top = top
+
+    def run(self):
+        log = UVMLog()
+        try:
+            from repro.sim.elaborate import elaborate
+
+            design = elaborate(self.source, top=self.top)
+            simulator = Simulator(design)
+        except (HdlError, SimulationError) as exc:
+            log.error(0, "ELAB", f"elaboration failed: {exc}")
+            return TestResult(ok=False, log=log, error=str(exc))
+        env = Environment(
+            simulator, self.sequence, self.protocol, self.reference_model,
+            self.compare_signals, log=log,
+        )
+        try:
+            scoreboard = env.run()
+        except (SimulationError, HdlError) as exc:
+            log.error(simulator.time, "SIM", f"simulation failed: {exc}")
+            return TestResult(
+                ok=False, log=log, error=str(exc),
+                trace=simulator.trace, simulator=simulator,
+            )
+        return TestResult(
+            ok=True,
+            pass_rate=scoreboard.pass_rate,
+            mismatches=list(scoreboard.mismatches),
+            log=log,
+            coverage=env.coverage.coverage,
+            trace=simulator.trace,
+            simulator=simulator,
+            checked=scoreboard.checked,
+        )
+
+
+def run_uvm_test(source, sequence, protocol, reference_model,
+                 compare_signals, top=None):
+    """One-shot convenience wrapper around :class:`UVMTest`."""
+    test = UVMTest(
+        source, sequence, protocol, reference_model, compare_signals, top
+    )
+    return test.run()

@@ -1,0 +1,155 @@
+"""SVA-lite assertion layer tests."""
+
+import pytest
+
+from repro.bench import get_module, make_hr_sequence
+from repro.sim.values import Value
+from repro.uvm.assertions import (
+    Assertion,
+    AssertionSet,
+    generate_protocol_assertions,
+)
+from repro.uvm import run_uvm_test
+
+
+class TestAssertion:
+    def test_same_cycle_pass(self):
+        a = Assertion("nonneg", consequent=lambda v: v["x"] >= 0)
+        assert a.sample({"x": 3}, time=0)
+        assert a.result.passed
+        assert a.result.attempts == 1
+
+    def test_same_cycle_fail(self):
+        a = Assertion("max", consequent=lambda v: v["x"] < 2)
+        assert not a.sample({"x": 5}, time=10)
+        assert a.result.failures == 1
+        assert a.result.failure_times == [10]
+
+    def test_antecedent_gates_check(self):
+        a = Assertion(
+            "guarded",
+            antecedent=lambda v: v["en"] == 1,
+            consequent=lambda v: v["x"] == 1,
+        )
+        a.sample({"en": 0, "x": 0}, 0)
+        assert a.result.attempts == 0
+        a.sample({"en": 1, "x": 1}, 10)
+        assert a.result.attempts == 1
+        assert a.result.passed
+
+    def test_next_cycle_implication(self):
+        # en |=> x: after en, x must hold the following sample.
+        a = Assertion(
+            "after_en",
+            antecedent=lambda v: v["en"] == 1,
+            consequent=lambda v: v["x"] == 1,
+            delay=1,
+        )
+        a.sample({"en": 1, "x": 0}, 0)   # fires antecedent only
+        assert a.result.attempts == 0
+        a.sample({"en": 0, "x": 1}, 10)  # consequent checked here
+        assert a.result.attempts == 1
+        assert a.result.passed
+
+    def test_next_cycle_failure(self):
+        a = Assertion(
+            "after_en",
+            antecedent=lambda v: v["en"] == 1,
+            consequent=lambda v: v["x"] == 1,
+            delay=1,
+        )
+        a.sample({"en": 1, "x": 1}, 0)
+        a.sample({"en": 0, "x": 0}, 10)
+        assert a.result.failures == 1
+
+    def test_vacuous_detection(self):
+        a = Assertion(
+            "never_fires",
+            antecedent=lambda v: False,
+            consequent=lambda v: False,
+        )
+        a.sample({}, 0)
+        assert a.result.vacuous
+
+    def test_unknown_operand_fails_soft(self):
+        a = Assertion("soft", consequent=lambda v: v["x"] > 1)
+        a.sample({"x": None}, 0)
+        assert a.result.passed  # None comparison -> not checkable
+
+
+class TestAssertionSet:
+    def test_x_values_become_none(self):
+        seen = {}
+
+        def capture(values):
+            seen.update(values)
+            return True
+
+        group = AssertionSet([Assertion("cap", consequent=capture)])
+        group.sample({"a": 1}, {"y": Value.all_x(4)}, time=0)
+        assert seen["y"] is None
+        assert seen["a"] == 1
+
+    def test_report_lines(self):
+        group = AssertionSet([
+            Assertion("ok", consequent=lambda v: True),
+            Assertion("bad", consequent=lambda v: False),
+        ])
+        group.sample({}, {}, 0)
+        report = group.report()
+        assert "assert ok: PASS" in report
+        assert "assert bad: FAIL" in report
+        assert not group.all_passed
+
+
+class TestProtocolAssertions:
+    def _run_with_assertions(self, bench, source):
+        assertions = generate_protocol_assertions(bench)
+        result = run_uvm_test(
+            source, make_hr_sequence(bench), bench.protocol,
+            bench.model(), bench.compare_signals, top=bench.top,
+        )
+        # Replay the scoreboard stream into the assertion set.
+        for record in result.mismatches:
+            pass  # assertions sample below from the trace-less stream
+        # Simpler: drive assertions from a fresh run's monitor stream.
+        from repro.sim.elaborate import elaborate
+        from repro.sim.engine import Simulator
+        from repro.uvm.env import Environment
+
+        simulator = Simulator(elaborate(source, top=bench.top))
+        env = Environment(
+            simulator, make_hr_sequence(bench), bench.protocol,
+            bench.model(), bench.compare_signals,
+        )
+
+        def per_sample(txn, cycle, time, observed):
+            env.scoreboard.check(txn, cycle, time, observed)
+            assertions.sample(txn.fields, observed, time)
+
+        env.scoreboard.reset()
+        env.agent.run(per_sample)
+        return assertions
+
+    def test_fifo_flags_exclusive_on_golden(self):
+        bench = get_module("sync_fifo")
+        assertions = self._run_with_assertions(bench, bench.source)
+        by_name = {a.name: a for a in assertions.assertions}
+        assert by_name["full_empty_exclusive"].result.passed
+        assert not by_name["full_empty_exclusive"].result.vacuous
+
+    def test_traffic_light_one_hot_assertion(self):
+        bench = get_module("traffic_light")
+        assertions = self._run_with_assertions(bench, bench.source)
+        by_name = {a.name: a for a in assertions.assertions}
+        assert by_name["lamps_one_hot"].result.passed
+
+    def test_one_hot_assertion_catches_bug(self):
+        bench = get_module("traffic_light")
+        buggy = bench.source.replace(
+            "yellow = (state == S_YELLOW);",
+            "yellow = (state == S_RED);",
+        )
+        assertions = self._run_with_assertions(bench, buggy)
+        by_name = {a.name: a for a in assertions.assertions}
+        assert not by_name["lamps_one_hot"].result.passed

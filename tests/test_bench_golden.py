@@ -1,0 +1,169 @@
+"""Golden benchmark integration tests: every design passes both suites."""
+
+import pytest
+
+from repro.bench import (
+    CATEGORIES,
+    all_modules,
+    get_module,
+    make_fr_sequence,
+    make_hr_sequence,
+    modules_by_category,
+)
+from repro.refmodel import ReferenceModelGenerator
+from repro.uvm import run_uvm_test
+
+
+def test_registry_has_27_modules():
+    assert len(all_modules()) == 27
+
+
+def test_all_categories_populated():
+    grouped = modules_by_category()
+    assert set(grouped) == set(CATEGORIES)
+    for category, members in grouped.items():
+        assert members, f"category {category} is empty"
+
+
+def test_ten_representative_types():
+    types = {b.type_tag for b in all_modules()}
+    assert len(types) == 10
+
+
+def test_unknown_module_raises():
+    with pytest.raises(KeyError):
+        get_module("nonexistent")
+
+
+@pytest.mark.parametrize("name", [b.name for b in all_modules()])
+def test_golden_passes_hr_suite(name):
+    bench = get_module(name)
+    result = run_uvm_test(
+        bench.source, make_hr_sequence(bench), bench.protocol,
+        bench.model(), bench.compare_signals, top=bench.top,
+    )
+    assert result.ok, result.error
+    assert result.all_passed, (
+        f"{name} failed its own HR suite: pass_rate={result.pass_rate}, "
+        f"first mismatch={result.mismatches[:1]}"
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["accu", "multi_pipe", "radix2_div", "sync_fifo", "fsm_seq",
+     "traffic_light", "calendar", "regfile"],
+)
+def test_golden_passes_fr_suite(name):
+    """The extended expert-validation suite (subset: the stateful
+    designs where overfitting would show)."""
+    bench = get_module(name)
+    result = run_uvm_test(
+        bench.source, make_fr_sequence(bench), bench.protocol,
+        bench.model(), bench.compare_signals, top=bench.top,
+    )
+    assert result.all_passed, (
+        f"{name} failed FR suite: {result.mismatches[:1]}"
+    )
+
+
+@pytest.mark.parametrize("name", [b.name for b in all_modules()])
+def test_spec_names_module_and_ports(name):
+    bench = get_module(name)
+    assert f"Module name: {name}" in bench.spec
+    for signal in bench.compare_signals:
+        assert signal in bench.spec
+
+
+@pytest.mark.parametrize("name", [b.name for b in all_modules()])
+def test_compare_signals_are_outputs(name):
+    from repro.sim.elaborate import elaborate
+
+    bench = get_module(name)
+    design = elaborate(bench.source, top=bench.top)
+    outputs = set(design.port_names("output"))
+    assert set(bench.compare_signals) <= outputs
+
+
+def test_reference_model_generator_resolves_spec():
+    bench = get_module("accu")
+    generator = ReferenceModelGenerator()
+    model = generator.generate(bench.spec)
+    out = model.step({"data_in": 1, "valid_in": 1})
+    assert "valid_out" in out
+
+
+def test_reference_model_generator_rejects_unknown():
+    from repro.refmodel.generator import ReferenceModelGenerationError
+
+    generator = ReferenceModelGenerator()
+    with pytest.raises(ReferenceModelGenerationError):
+        generator.generate("Module name: mystery_block")
+
+
+class TestModelResetBehaviour:
+    @pytest.mark.parametrize(
+        "name",
+        [b.name for b in all_modules()
+         if b.protocol.reset is not None],
+    )
+    def test_model_reset_is_idempotent(self, name):
+        bench = get_module(name)
+        model = bench.model()
+        first = model.step({}, reset=True)
+        second = model.step({}, reset=True)
+        assert first == second
+
+
+class TestSpecificBehaviours:
+    def test_accu_groups_of_four(self):
+        model = get_module("accu").model()
+        outs = [
+            model.step({"data_in": 10, "valid_in": 1}) for _ in range(4)
+        ]
+        assert [o["valid_out"] for o in outs] == [0, 0, 0, 1]
+        assert outs[-1]["data_out"] == 40
+
+    def test_jc_counter_cycle_length(self):
+        model = get_module("jc_counter").model()
+        seen = [model.step({})["q"] for _ in range(8)]
+        assert len(set(seen)) == 8  # 8 distinct Johnson states
+        assert model.step({})["q"] == seen[0]  # period is exactly 8
+
+    def test_traffic_light_one_hot(self):
+        model = get_module("traffic_light").model()
+        for _ in range(40):
+            out = model.step({"en": 1})
+            assert out["red"] + out["yellow"] + out["green"] == 1
+
+    def test_sync_fifo_full_and_empty(self):
+        model = get_module("sync_fifo").model()
+        assert model.step({})["empty"] == 1
+        for index in range(8):
+            out = model.step({"wr_en": 1, "din": index})
+        assert out["full"] == 1
+        for _ in range(8):
+            out = model.step({"rd_en": 1})
+        assert out["empty"] == 1
+
+    def test_regfile_zero_register(self):
+        model = get_module("regfile").model()
+        model.step({"we": 1, "waddr": 0, "wdata": 55})
+        out = model.step({"raddr1": 0})
+        assert out["rdata1"] == 0
+
+    def test_calendar_cascade(self):
+        model = get_module("calendar").model()
+        for _ in range(6):
+            out = model.step({})
+        assert out["secs"] == 0 and out["mins"] == 1
+
+    def test_div16_divide_by_zero(self):
+        model = get_module("div_16bit").model()
+        out = model.step({"dividend": 1234, "divisor": 0})
+        assert out["quotient"] == 0xFFFF
+
+    def test_multi_booth_signed_corner(self):
+        model = get_module("multi_booth").model()
+        out = model.step({"a": 0x80, "b": 0x80})  # -128 * -128
+        assert out["p"] == 16384

@@ -1,0 +1,227 @@
+"""UVLLM core tests: patches, preprocessing, rollback, full pipeline."""
+
+import pytest
+
+from repro.bench import get_module
+from repro.core import (
+    UVLLM,
+    UVLLMConfig,
+    Preprocessor,
+    ScoreRegister,
+    apply_pairs,
+)
+from repro.lint import lint_source
+from repro.llm import MockLLM
+from repro.metrics.timing import TimingModel
+
+
+class TestApplyPairs:
+    SOURCE = "line one\n    target line;\nline three\n"
+
+    def test_exact_line_replacement(self):
+        out, n = apply_pairs(self.SOURCE, [("    target line;", "    new;")])
+        assert n == 1
+        assert "new;" in out
+        assert "target line" not in out
+
+    def test_whitespace_insensitive_fallback(self):
+        out, n = apply_pairs(self.SOURCE, [("target line;", "new;")])
+        assert n == 1
+        assert "    new;" in out  # indentation preserved
+
+    def test_fragment_fallback(self):
+        out, n = apply_pairs(self.SOURCE, [("target", "replaced")])
+        assert n == 1
+        assert "replaced line;" in out
+
+    def test_empty_original_appends(self):
+        out, n = apply_pairs(self.SOURCE, [("", "endmodule")])
+        assert n == 1
+        assert out.rstrip().endswith("endmodule")
+
+    def test_multiline_original(self):
+        pair = ("line one\n    target line;", "line one\n    patched;")
+        out, n = apply_pairs(self.SOURCE, [pair])
+        assert n == 1
+        assert "patched;" in out
+
+    def test_miss_skipped_by_default(self):
+        out, n = apply_pairs(self.SOURCE, [("no such line", "x")])
+        assert n == 0
+        assert out == self.SOURCE
+
+    def test_strict_raises(self):
+        from repro.core.patches import PatchError
+
+        with pytest.raises(PatchError):
+            apply_pairs(self.SOURCE, [("no such line", "x")], strict=True)
+
+    def test_first_occurrence_only(self):
+        source = "a;\nsame;\nsame;\n"
+        out, _ = apply_pairs(source, [("same;", "diff;")])
+        assert out.splitlines().count("same;") == 1
+
+
+class TestPreprocessor:
+    def test_clean_source_untouched(self):
+        bench = get_module("adder_8bit")
+        pre = Preprocessor(MockLLM(seed=0), TimingModel())
+        out, report = pre.run(bench.source)
+        assert out == bench.source
+        assert report.clean
+        assert report.llm_calls == 0
+
+    def test_syntax_error_fixed_by_llm(self):
+        bench = get_module("adder_8bit")
+        buggy = bench.source.replace("assign", "asign")
+        pre = Preprocessor(MockLLM(seed=0), TimingModel())
+        out, report = pre.run(buggy)
+        assert report.had_syntax_errors
+        assert report.llm_calls >= 1
+        assert not lint_source(out).errors
+
+    def test_warning_fixed_by_template_not_llm(self):
+        source = (
+            "module m(input a, input b, output reg y);\n"
+            "always @(*) y <= a & b;\nendmodule"
+        )
+        pre = Preprocessor(MockLLM(seed=0), TimingModel())
+        out, report = pre.run(source)
+        assert report.template_fixes >= 1
+        assert report.llm_calls == 0
+        assert "y = a & b" in out
+
+    def test_timing_charged_to_preprocess(self):
+        bench = get_module("adder_8bit")
+        buggy = bench.source.replace("assign", "asign")
+        timing = TimingModel()
+        Preprocessor(MockLLM(seed=0), timing).run(buggy)
+        assert timing.clock.stage_seconds("preprocess") > 0
+
+    def test_iteration_bound_respected(self):
+        pre = Preprocessor(MockLLM(seed=0), TimingModel(), max_iterations=2)
+        out, report = pre.run("module m(input a; garbage !!! endmodule")
+        assert report.iterations <= 2
+
+
+class TestScoreRegister:
+    def test_keeps_best(self):
+        register = ScoreRegister()
+        register.record(0, 0.5, "v0")
+        register.consider(1, 0.8, "v1", [("a", "b")])
+        assert register.best.source == "v1"
+
+    def test_rollback_on_decline(self):
+        register = ScoreRegister()
+        register.record(0, 0.8, "v0")
+        result = register.consider(1, 0.3, "v1", [("a", "b")])
+        assert result == "v0"
+        assert register.rollbacks == 1
+        assert ("a", "b") in register.damage_repairs
+
+    def test_no_rollback_on_improvement(self):
+        register = ScoreRegister()
+        register.record(0, 0.3, "v0")
+        result = register.consider(1, 0.9, "v1", [("a", "b")])
+        assert result == "v1"
+        assert register.rollbacks == 0
+        assert not register.damage_repairs
+
+    def test_history_archived(self):
+        register = ScoreRegister()
+        for index in range(4):
+            register.record(index, 0.1 * index, f"v{index}")
+        assert len(register.history) == 4
+
+    def test_damage_repairs_deduplicated(self):
+        register = ScoreRegister()
+        register.record(0, 0.9, "v0")
+        register.consider(1, 0.1, "v1", [("a", "b")])
+        register.consider(2, 0.1, "v2", [("a", "b")])
+        assert register.damage_repairs.count(("a", "b")) == 1
+
+
+class TestPipeline:
+    def test_functional_repair_end_to_end(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        outcome = UVLLM(MockLLM(seed=0), UVLLMConfig()).verify_and_repair(
+            buggy, bench
+        )
+        assert outcome.hit
+        assert outcome.stage in ("ms", "sl")
+        assert "out + 4'd1" in outcome.final_source
+
+    def test_syntax_repair_attributed_to_preprocess(self):
+        bench = get_module("adder_8bit")
+        buggy = bench.source.replace("assign", "asign")
+        outcome = UVLLM(MockLLM(seed=0), UVLLMConfig()).verify_and_repair(
+            buggy, bench
+        )
+        assert outcome.hit
+        assert outcome.stage == "preprocess"
+
+    def test_clean_design_passes_immediately(self):
+        bench = get_module("adder_8bit")
+        outcome = UVLLM(MockLLM(seed=0), UVLLMConfig()).verify_and_repair(
+            bench.source, bench
+        )
+        assert outcome.hit
+        assert outcome.iterations == 0
+
+    def test_iteration_budget_respected(self):
+        bench = get_module("fsm_seq")
+        # An unrepairable disaster: gut the body.
+        buggy = bench.source.replace("state <= din ? S1 : S0;",
+                                     "state <= S0;")
+        config = UVLLMConfig(max_iterations=3)
+        outcome = UVLLM(MockLLM(seed=0), config).verify_and_repair(
+            buggy, bench
+        )
+        assert outcome.iterations <= 3
+
+    def test_outcome_accounting(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        outcome = UVLLM(MockLLM(seed=0), UVLLMConfig()).verify_and_repair(
+            buggy, bench
+        )
+        assert outcome.seconds > 0
+        assert outcome.llm_calls >= 1
+        assert outcome.cost_usd > 0
+        assert sum(outcome.stage_seconds.values()) == pytest.approx(
+            outcome.seconds
+        )
+
+    def test_pass_rate_history_recorded(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        outcome = UVLLM(MockLLM(seed=0), UVLLMConfig()).verify_and_repair(
+            buggy, bench
+        )
+        assert outcome.pass_rate_history
+        assert outcome.pass_rate_history[0] < 1.0
+
+    def test_complete_patch_form(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        config = UVLLMConfig(patch_form="complete")
+        outcome = UVLLM(MockLLM(seed=0), config).verify_and_repair(
+            buggy, bench
+        )
+        # Whole-module regeneration is allowed to fail more often, but
+        # the pipeline must stay well-formed.
+        assert outcome.final_source.strip().endswith("endmodule")
+
+    def test_determinism(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        first = UVLLM(MockLLM(seed=3), UVLLMConfig()).verify_and_repair(
+            buggy, bench
+        )
+        second = UVLLM(MockLLM(seed=3), UVLLMConfig()).verify_and_repair(
+            buggy, bench
+        )
+        assert first.hit == second.hit
+        assert first.final_source == second.final_source
+        assert first.seconds == second.seconds

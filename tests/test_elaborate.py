@@ -1,0 +1,209 @@
+"""Elaboration tests: scopes, parameters, ports, implicit nets."""
+
+import pytest
+
+from repro.hdl.errors import HdlElaborationError
+from repro.sim import Simulator
+from repro.sim.elaborate import elaborate
+
+
+class TestBasics:
+    def test_signal_widths(self):
+        design = elaborate(
+            "module m(input [7:0] a, output [3:0] y);\n"
+            "reg [15:0] r;\nassign y = a[3:0];\nendmodule"
+        )
+        assert design.signals["a"].width == 8
+        assert design.signals["r"].width == 16
+
+    def test_port_directions(self):
+        design = elaborate(
+            "module m(input a, output y, inout z);\n"
+            "assign y = a;\nendmodule"
+        )
+        assert design.port_names("input") == ["a"]
+        assert design.port_names("output") == ["y"]
+
+    def test_integer_is_32bit_signed(self):
+        design = elaborate("module m; integer i; endmodule")
+        signal = design.signals["i"]
+        assert signal.width == 32
+        assert signal.signed
+
+    def test_memory_registered(self):
+        design = elaborate(
+            "module m; reg [7:0] mem [0:15]; endmodule"
+        )
+        memory = design.memories["mem"]
+        assert memory.depth == 16
+        assert memory.width == 8
+
+    def test_split_direction_and_kind_decls_merge(self):
+        # Non-ANSI style: direction and reg declared separately.
+        design = elaborate(
+            "module m(clk, q);\ninput clk;\noutput q;\nreg q;\n"
+            "always @(posedge clk) q <= ~q;\nendmodule"
+        )
+        assert design.signals["q"].kind == "reg"
+        assert design.ports["q"][0] == "output"
+
+    def test_top_selection_defaults_to_last(self):
+        design = elaborate(
+            "module first; endmodule\nmodule second; endmodule"
+        )
+        assert design.top_name == "second"
+
+    def test_top_by_name(self):
+        design = elaborate(
+            "module first; endmodule\nmodule second; endmodule",
+            top="first",
+        )
+        assert design.top_name == "first"
+
+    def test_unknown_top_raises(self):
+        with pytest.raises(HdlElaborationError):
+            elaborate("module m; endmodule", top="ghost")
+
+
+class TestParameters:
+    def test_parameter_default(self):
+        design = elaborate(
+            "module m #(parameter W = 4)(input [W-1:0] a); endmodule"
+        )
+        assert design.signals["a"].width == 4
+
+    def test_parameter_top_override(self):
+        design = elaborate(
+            "module m #(parameter W = 4)(input [W-1:0] a); endmodule",
+            params={"W": 8},
+        )
+        assert design.signals["a"].width == 8
+
+    def test_localparam_chain(self):
+        design = elaborate(
+            "module m;\nlocalparam A = 4;\nlocalparam B = A * 2;\n"
+            "reg [B-1:0] r;\nendmodule"
+        )
+        assert design.signals["r"].width == 8
+
+    def test_reg_initializer_applied(self):
+        sim = Simulator(
+            "module m(output [3:0] y);\nreg [3:0] r = 4'd9;\n"
+            "assign y = r;\nendmodule"
+        )
+        assert sim.get_int("y") == 9
+
+
+class TestImplicitNets:
+    def test_implicit_wire_created_with_warning(self):
+        design = elaborate(
+            "module m(input a, output y);\nassign y = a & ghost;\n"
+            "endmodule"
+        )
+        assert "ghost" in design.signals
+        assert design.signals["ghost"].width == 1
+        assert any("ghost" in w for w in design.elab_warnings)
+
+
+class TestHierarchyBinding:
+    NESTED = (
+        "module leaf(input [3:0] d, output [3:0] q);\n"
+        "assign q = d + 4'd1;\nendmodule\n"
+        "module mid(input [3:0] d, output [3:0] q);\n"
+        "leaf u_leaf(.d(d), .q(q));\nendmodule\n"
+        "module top(input [3:0] d, output [3:0] q);\n"
+        "mid u_mid(.d(d), .q(q));\nendmodule"
+    )
+
+    def test_two_level_hierarchy(self):
+        sim = Simulator(elaborate(self.NESTED, top="top"))
+        sim.set("d", 5)
+        assert sim.get_int("q") == 6
+
+    def test_nested_scope_names(self):
+        design = elaborate(self.NESTED, top="top")
+        assert "u_mid.u_leaf.q" in design.signals
+
+    def test_positional_connections(self):
+        source = (
+            "module leaf(input a, output y);\nassign y = ~a;\nendmodule\n"
+            "module top(input a, output y);\nleaf u(a, y);\nendmodule"
+        )
+        sim = Simulator(elaborate(source, top="top"))
+        sim.set("a", 1)
+        assert sim.get_int("y") == 0
+
+    def test_too_many_connections_raises(self):
+        source = (
+            "module leaf(input a); endmodule\n"
+            "module top(input a);\nleaf u(a, a);\nendmodule"
+        )
+        with pytest.raises(HdlElaborationError):
+            elaborate(source, top="top")
+
+    def test_unknown_module_raises(self):
+        with pytest.raises(HdlElaborationError):
+            elaborate("module top; ghost u(); endmodule")
+
+    def test_unknown_port_raises(self):
+        source = (
+            "module leaf(input a); endmodule\n"
+            "module top(input a);\nleaf u(.nope(a));\nendmodule"
+        )
+        with pytest.raises(HdlElaborationError):
+            elaborate(source, top="top")
+
+    def test_unconnected_port_stays_x(self):
+        source = (
+            "module leaf(input a, output y);\nassign y = a;\nendmodule\n"
+            "module top(output y);\nleaf u(.a(), .y(y));\nendmodule"
+        )
+        sim = Simulator(elaborate(source, top="top"))
+        assert sim.get("y").has_x
+
+    def test_child_param_override(self):
+        source = (
+            "module leaf #(parameter W = 2)(output [7:0] y);\n"
+            "assign y = W;\nendmodule\n"
+            "module top(output [7:0] y);\n"
+            "leaf #(.W(42)) u(.y(y));\nendmodule"
+        )
+        sim = Simulator(elaborate(source, top="top"))
+        assert sim.get_int("y") == 42
+
+    def test_positional_param_override(self):
+        source = (
+            "module leaf #(parameter W = 2)(output [7:0] y);\n"
+            "assign y = W;\nendmodule\n"
+            "module top(output [7:0] y);\nleaf #(9) u(.y(y));\nendmodule"
+        )
+        sim = Simulator(elaborate(source, top="top"))
+        assert sim.get_int("y") == 9
+
+
+class TestSensitivityBinding:
+    def test_incomplete_level_sensitivity_is_honoured(self):
+        """A buggy sensitivity list must behave buggy (not auto-fixed):
+        the simulator is faithful to the source."""
+        sim = Simulator(
+            "module m(input a, input b, output reg y);\n"
+            "always @(a) y = a & b;\nendmodule"
+        )
+        sim.set("a", 1)
+        sim.set("b", 1)  # does NOT trigger the block
+        sim.set("a", 0)
+        sim.set("a", 1)  # now it re-evaluates with b=1
+        assert sim.get_int("y") == 1
+
+    def test_mixed_edge_and_level_list(self):
+        sim = Simulator(
+            "module m(input clk, input rst, output reg q);\n"
+            "always @(posedge clk or rst) begin\n"
+            "if (rst) q <= 1'b0; else q <= 1'b1;\nend\nendmodule"
+        )
+        sim.set("clk", 0)
+        sim.set("rst", 1)
+        assert sim.get_int("q") == 0
+        sim.set("rst", 0)
+        sim.tick()
+        assert sim.get_int("q") == 1

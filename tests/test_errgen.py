@@ -1,0 +1,149 @@
+"""Error generator tests: operators, validation, dataset properties."""
+
+import pytest
+
+from repro.bench import get_module, make_hr_sequence
+from repro.errgen import (
+    ALL_OPERATORS,
+    FUNCTIONAL_OPERATORS,
+    SYNTAX_OPERATORS,
+    generate_dataset,
+    generate_for_module,
+)
+from repro.errgen.generator import dataset_summary
+from repro.lint import lint_source
+from repro.uvm import run_uvm_test
+
+
+class TestOperators:
+    def test_premature_termination_site(self):
+        bench = get_module("adder_8bit")
+        sites = SYNTAX_OPERATORS[0].sites(bench.source)
+        assert sites
+        assert "endmodule" not in sites[0].mutated_source.splitlines()[-1] \
+            or len(sites[0].mutated_source.splitlines()) < \
+            len(bench.source.splitlines())
+
+    def test_scope_issue_removes_block_token(self):
+        bench = get_module("counter_12")
+        sites = SYNTAX_OPERATORS[1].sites(bench.source)
+        assert sites
+        for site in sites:
+            assert site.mutated_source != bench.source
+
+    def test_keyword_typo_breaks_parse(self):
+        bench = get_module("accu")
+        for site in SYNTAX_OPERATORS[3].sites(bench.source):
+            assert lint_source(site.mutated_source).diagnostics
+
+    def test_operator_misuse_compiles(self):
+        bench = get_module("adder_8bit")
+        for site in FUNCTIONAL_OPERATORS[0].sites(bench.source):
+            assert not lint_source(site.mutated_source).errors
+
+    def test_bitwidth_narrows_range(self):
+        bench = get_module("counter_12")
+        sites = [s for s in FUNCTIONAL_OPERATORS[3].sites(bench.source)]
+        assert any("[2:0]" in s.mutated_source for s in sites)
+
+    def test_sensitivity_drop(self):
+        bench = get_module("counter_12")
+        sites = FUNCTIONAL_OPERATORS[4].sites(bench.source)
+        assert sites
+        assert "negedge rst_n" not in sites[0].mutated_source.splitlines()[
+            6
+        ]
+
+    def test_port_mismatch_on_hierarchical_design(self):
+        bench = get_module("adder_16bit")
+        sites = [
+            s for op in FUNCTIONAL_OPERATORS for s in op.sites(bench.source)
+            if op.name == "port_mismatch"
+        ]
+        assert sites
+
+    def test_every_operator_has_paper_class(self):
+        for op in ALL_OPERATORS:
+            assert op.paper_class
+            assert op.kind in ("syntax", "functional")
+
+
+class TestValidation:
+    def test_syntax_instances_fail_lint(self):
+        bench = get_module("accu")
+        for inst in generate_for_module(bench, per_operator=1, seed=0):
+            if inst.kind == "syntax":
+                assert lint_source(inst.buggy_source).errors
+
+    def test_functional_instances_compile_and_fail_tests(self):
+        bench = get_module("counter_12")
+        for inst in generate_for_module(bench, per_operator=1, seed=0):
+            if inst.kind != "functional":
+                continue
+            assert not lint_source(inst.buggy_source).errors
+            result = run_uvm_test(
+                inst.buggy_source, make_hr_sequence(bench), bench.protocol,
+                bench.model(), bench.compare_signals, top=bench.top,
+            )
+            assert (not result.ok) or result.mismatches
+
+    def test_instances_differ_from_golden(self):
+        bench = get_module("edge_detect")
+        for inst in generate_for_module(bench, per_operator=1, seed=0):
+            assert inst.buggy_source != inst.golden_source
+
+
+class TestDataset:
+    def test_deterministic(self):
+        first = generate_for_module(
+            get_module("adder_8bit"), per_operator=1, seed=5
+        )
+        second = generate_for_module(
+            get_module("adder_8bit"), per_operator=1, seed=5
+        )
+        assert [i.instance_id for i in first] == \
+            [i.instance_id for i in second]
+        assert [i.buggy_source for i in first] == \
+            [i.buggy_source for i in second]
+
+    def test_seed_changes_sites(self):
+        module = get_module("sync_fifo")
+        first = generate_for_module(module, per_operator=1, seed=0)
+        second = generate_for_module(module, per_operator=1, seed=99)
+        assert [i.description for i in first] != \
+            [i.description for i in second]
+
+    def test_small_dataset_summary(self):
+        instances = generate_dataset(
+            seed=0, per_operator=1, target=None,
+            modules=["adder_8bit", "counter_12"],
+        )
+        summary = dataset_summary(instances)
+        assert summary["total"] == len(instances)
+        assert set(summary["by_kind"]) <= {"syntax", "functional"}
+        assert summary["by_kind"]["syntax"] > 0
+        assert summary["by_kind"]["functional"] > 0
+
+    def test_target_thinning(self):
+        instances = generate_dataset(
+            seed=0, per_operator=2, target=5,
+            modules=["adder_8bit"],
+        )
+        assert len(instances) <= 5
+
+    def test_dataset_cached(self):
+        first = generate_dataset(
+            seed=0, per_operator=1, target=None, modules=["adder_8bit"]
+        )
+        second = generate_dataset(
+            seed=0, per_operator=1, target=None, modules=["adder_8bit"]
+        )
+        assert first is second
+
+    def test_instance_ids_unique(self):
+        instances = generate_dataset(
+            seed=0, per_operator=2, target=None,
+            modules=["counter_12", "accu"],
+        )
+        ids = [i.instance_id for i in instances]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,197 @@
+"""Expression evaluator semantics tests (width rules, 4-state, signed)."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def run_expr(expr, width=8, decls="", inputs=None):
+    """Evaluate an expression in a module context; return y as int."""
+    source = (
+        f"module m(input [7:0] a, input [7:0] b, input c,"
+        f" output [{width - 1}:0] y);\n{decls}\n"
+        f"assign y = {expr};\nendmodule"
+    )
+    sim = Simulator(source)
+    for name, value in (inputs or {}).items():
+        sim.poke(name, value)
+    sim.settle()
+    return sim.get_int("y")
+
+
+class TestWidthRules:
+    def test_context_width_preserves_carry(self):
+        # 9-bit target must see the 9th bit of an 8-bit addition.
+        assert run_expr("a + b", width=9,
+                        inputs={"a": 255, "b": 255}) == 510
+
+    def test_self_determined_width_without_context(self):
+        # Comparison operands are sized to the operands only.
+        assert run_expr("(a + b) > 8'd200", width=1,
+                        inputs={"a": 200, "b": 100}) == 0  # wrapped to 44
+
+    def test_concat_parts_self_determined(self):
+        # {a, b} is exactly 16 bits; the high part is a.
+        assert run_expr("{a, b}", width=16,
+                        inputs={"a": 0x12, "b": 0x34}) == 0x1234
+
+    def test_shift_left_context(self):
+        assert run_expr("a << 4", width=12, inputs={"a": 0xFF}) == 0xFF0
+
+    def test_shift_amount_self_determined(self):
+        assert run_expr("a >> (b + 8'd0)", width=8,
+                        inputs={"a": 0x80, "b": 7}) == 1
+
+    def test_ternary_branch_widths(self):
+        assert run_expr("c ? {a, b} : 16'd5", width=16,
+                        inputs={"a": 1, "b": 0, "c": 1}) == 0x0100
+
+
+class TestOperators:
+    def test_modulo(self):
+        assert run_expr("a % b", inputs={"a": 17, "b": 5}) == 2
+
+    def test_power(self):
+        assert run_expr("a ** 2", width=16, inputs={"a": 12}) == 144
+
+    def test_logical_vs_bitwise(self):
+        assert run_expr("a && b", width=1, inputs={"a": 2, "b": 4}) == 1
+        assert run_expr("a & b", width=8, inputs={"a": 2, "b": 4}) == 0
+
+    def test_reduction_nand(self):
+        assert run_expr("~&a", width=1, inputs={"a": 0xFF}) == 0
+        assert run_expr("~&a", width=1, inputs={"a": 0xFE}) == 1
+
+    def test_xnor(self):
+        assert run_expr("a ~^ b", width=8,
+                        inputs={"a": 0xF0, "b": 0xFF}) == 0xF0
+
+    def test_case_equality(self):
+        assert run_expr("a === b", width=1, inputs={"a": 3, "b": 3}) == 1
+
+    def test_replication(self):
+        assert run_expr("{4{c}}", width=4, inputs={"c": 1}) == 0xF
+
+    def test_indexed_part_select_minus(self):
+        assert run_expr("a[7 -: 4]", width=4, inputs={"a": 0xAB}) == 0xA
+
+    def test_unary_minus(self):
+        assert run_expr("-a", width=8, inputs={"a": 1}) == 0xFF
+
+    def test_not_operator(self):
+        assert run_expr("!a", width=1, inputs={"a": 0}) == 1
+
+
+class TestSigned:
+    def test_signed_function_extends(self):
+        # $signed(a) sign-extends into the 16-bit context.
+        assert run_expr("$signed(a) + 16'd0", width=16,
+                        inputs={"a": 0xFF}) == 0xFFFF
+
+    def test_unsigned_function(self):
+        source = (
+            "module m(input [7:0] a, output [15:0] y);\n"
+            "wire signed [7:0] s;\nassign s = a;\n"
+            "assign y = $unsigned(s) + 16'd0;\nendmodule"
+        )
+        sim = Simulator(source)
+        sim.set("a", 0xFF)
+        assert sim.get_int("y") == 0x00FF
+
+    def test_arithmetic_shift_right(self):
+        source = (
+            "module m(input [7:0] a, output [7:0] y);\n"
+            "wire signed [7:0] s;\nassign s = a;\n"
+            "assign y = s >>> 2;\nendmodule"
+        )
+        sim = Simulator(source)
+        sim.set("a", 0x80)
+        assert sim.get_int("y") == 0xE0
+
+    def test_signed_comparison(self):
+        source = (
+            "module m(input [7:0] a, input [7:0] b, output y);\n"
+            "wire signed [7:0] sa;\nwire signed [7:0] sb;\n"
+            "assign sa = a;\nassign sb = b;\n"
+            "assign y = sa < sb;\nendmodule"
+        )
+        sim = Simulator(source)
+        sim.set("a", 0xFF)  # -1
+        sim.set("b", 0x01)  # +1
+        assert sim.get_int("y") == 1
+
+
+class TestSystemFunctions:
+    def test_clog2(self):
+        assert run_expr("$clog2(16)", width=8) == 4
+        assert run_expr("$clog2(17)", width=8) == 5
+        assert run_expr("$clog2(1)", width=8) == 0
+
+
+class TestParameters:
+    def test_parameter_in_expression(self):
+        source = (
+            "module m(input [7:0] a, output [7:0] y);\n"
+            "parameter OFFSET = 8'd7;\n"
+            "assign y = a + OFFSET;\nendmodule"
+        )
+        sim = Simulator(source)
+        sim.set("a", 1)
+        assert sim.get_int("y") == 8
+
+    def test_parameter_in_range(self):
+        source = (
+            "module m(input [7:0] a, output [7:0] y);\n"
+            "parameter W = 4;\nwire [W-1:0] t;\n"
+            "assign t = a;\nassign y = {4'b0, t};\nendmodule"
+        )
+        sim = Simulator(source)
+        sim.set("a", 0xFF)
+        assert sim.get_int("y") == 0x0F
+
+    def test_localparam_case_labels(self):
+        source = (
+            "module m(input [1:0] s, output reg [3:0] y);\n"
+            "localparam A = 2'd0, B = 2'd1;\n"
+            "always @(*) begin\ncase (s)\nA: y = 4'd10;\nB: y = 4'd11;\n"
+            "default: y = 4'd0;\nendcase\nend\nendmodule"
+        )
+        sim = Simulator(source)
+        sim.set("s", 1)
+        assert sim.get_int("y") == 11
+
+
+class TestCaseZ:
+    def test_casez_wildcard(self):
+        source = (
+            "module m(input [3:0] s, output reg [1:0] y);\n"
+            "always @(*) begin\ncasez (s)\n"
+            "4'b1???: y = 2'd3;\n4'b01??: y = 2'd2;\n"
+            "default: y = 2'd0;\nendcase\nend\nendmodule"
+        )
+        sim = Simulator(source)
+        sim.set("s", 0b1010)
+        assert sim.get_int("y") == 3
+        sim.set("s", 0b0110)
+        assert sim.get_int("y") == 2
+        sim.set("s", 0b0010)
+        assert sim.get_int("y") == 0
+
+
+class TestXPropagation:
+    def test_uninitialized_reg_is_x(self):
+        sim = Simulator(
+            "module m(input clk, output reg q);\n"
+            "always @(posedge clk) q <= q;\nendmodule"
+        )
+        assert sim.get("q").has_x
+
+    def test_if_with_x_condition_takes_else(self):
+        # Pragmatic simulator semantics: unknown condition -> else.
+        sim = Simulator(
+            "module m(input [1:0] s, output reg y);\nreg u;\n"
+            "always @(*) begin\nif (u) y = 1'b1; else y = 1'b0;\nend\n"
+            "endmodule"
+        )
+        sim.set("s", 0)
+        assert sim.get_int("y") == 0

@@ -1,0 +1,149 @@
+"""Experiment driver integration tests (small module subsets)."""
+
+import pytest
+
+from repro.errgen import generate_dataset
+from repro.experiments import run_method_on_instance
+from repro.experiments import fig5, fig6, fig7, table2, table3
+from repro.experiments.runner import evaluate_fix, rates
+
+QUICK = ["adder_8bit", "counter_12"]
+
+
+@pytest.fixture(scope="module")
+def quick_syntax_instance():
+    instances = generate_dataset(
+        seed=0, per_operator=1, target=None, modules=["counter_12"],
+    )
+    return next(i for i in instances if i.kind == "syntax")
+
+
+@pytest.fixture(scope="module")
+def quick_functional_instance():
+    instances = generate_dataset(
+        seed=0, per_operator=1, target=None, modules=["counter_12"],
+    )
+    return next(i for i in instances if i.operator == "operator_misuse")
+
+
+class TestRunner:
+    def test_uvllm_record(self, quick_functional_instance):
+        record = run_method_on_instance(
+            "uvllm", quick_functional_instance, attempts=2
+        )
+        assert record.method == "uvllm"
+        assert record.seconds > 0
+        if record.hit:
+            assert record.stage is not None
+
+    def test_fr_implies_hr_for_uvllm(self, quick_functional_instance):
+        record = run_method_on_instance(
+            "uvllm", quick_functional_instance, attempts=2
+        )
+        if record.fixed:
+            assert record.hit
+
+    def test_strider_single_attempt(self, quick_functional_instance):
+        record = run_method_on_instance(
+            "strider", quick_functional_instance, attempts=3
+        )
+        assert record.attempts_used == 1  # deterministic, no retry
+
+    def test_unknown_method_rejected(self, quick_functional_instance):
+        with pytest.raises(ValueError):
+            run_method_on_instance("nope", quick_functional_instance)
+
+    def test_rates_helper(self):
+        class R:
+            def __init__(self, hit, fixed, seconds):
+                self.hit, self.fixed, self.seconds = hit, fixed, seconds
+
+        hr, fr, seconds = rates([R(True, True, 2.0), R(True, False, 4.0)])
+        assert hr == 100.0
+        assert fr == 50.0
+        assert seconds == 3.0
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig5.run(modules=QUICK, per_operator=1, attempts=2)
+
+    def test_structure(self, results):
+        assert set(results["classes"]) == set(fig5.SYNTAX_CLASSES)
+        assert results["instance_count"] > 0
+
+    def test_render(self, results):
+        text = fig5.render(results)
+        assert "Fig. 5" in text
+        assert "AVERAGE" in text
+
+    def test_uvllm_no_hr_fr_gap(self, results):
+        cell = results["average"]["uvllm"]
+        assert cell["hr"] - cell["fr"] <= 10.0  # paper: 0
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig6.run(modules=QUICK, per_operator=1, attempts=2)
+
+    def test_structure(self, results):
+        assert set(results["classes"]) == set(fig6.FUNCTIONAL_CLASSES)
+
+    def test_strider_recorded(self, results):
+        assert "strider" in results["average"]
+
+    def test_render(self, results):
+        assert "Fig. 6" in fig6.render(results)
+
+
+class TestFig7:
+    def test_heatmap_cells(self):
+        heatmap = fig7.run(modules=QUICK, per_operator=1, attempts=1)
+        assert set(heatmap) == set(QUICK)
+        for cells in heatmap.values():
+            for key in ("syntax", "function"):
+                value = cells[key]
+                assert value is None or 0.0 <= value <= 1.0
+
+    def test_render(self):
+        heatmap = fig7.run(modules=["adder_8bit"], per_operator=1,
+                           attempts=1)
+        assert "Fig. 7" in fig7.render(heatmap)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return table2.run(modules=QUICK, per_operator=1, attempts=2)
+
+    def test_rows_present(self, results):
+        labels = [row["label"] for row in results["rows"]]
+        assert "SYNTAX" in labels or "FUNCTIONAL" in labels
+
+    def test_stage_fr_sums_to_total(self, results):
+        for row in results["rows"]:
+            total = row["fr_preprocess"] + row["fr_ms"] + row["fr_sl"]
+            assert total == pytest.approx(row["fr_uvllm"], abs=0.01)
+
+    def test_speedup_positive_when_times_exist(self, results):
+        overall = results["overall"]
+        if overall["t_uvllm"] > 0 and overall["t_meic"] > 0:
+            assert overall["speedup"] > 0
+
+    def test_render(self, results):
+        assert "Table II" in table2.render(results)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return table3.run(modules=["counter_12"], per_operator=1,
+                          attempts=2)
+
+    def test_both_forms_present(self, results):
+        assert set(results) == {"pair", "complete"}
+
+    def test_render(self, results):
+        assert "Table III" in table3.render(results)

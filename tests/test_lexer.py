@@ -1,0 +1,142 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.hdl.errors import HdlSyntaxError
+from repro.hdl.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_identifier(self):
+        tokens = tokenize("foo_bar")
+        assert tokens[0].kind == TokenKind.IDENT
+        assert tokens[0].text == "foo_bar"
+
+    def test_keyword(self):
+        tokens = tokenize("module")
+        assert tokens[0].kind == TokenKind.KEYWORD
+
+    def test_eof_terminates(self):
+        assert tokenize("")[-1].kind == TokenKind.EOF
+
+    def test_decimal_number(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == TokenKind.NUMBER
+        assert tokens[0].text == "42"
+
+    def test_number_with_underscores(self):
+        assert tokenize("1_000")[0].text == "1_000"
+
+    def test_based_number_hex(self):
+        tokens = tokenize("8'hFF")
+        assert tokens[0].kind == TokenKind.BASED_NUMBER
+        assert tokens[0].text == "8'hFF"
+
+    def test_based_number_binary_with_x(self):
+        tokens = tokenize("4'bxx01")
+        assert tokens[0].kind == TokenKind.BASED_NUMBER
+
+    def test_unsized_based_number(self):
+        tokens = tokenize("'b101")
+        assert tokens[0].kind == TokenKind.BASED_NUMBER
+
+    def test_sized_number_with_space(self):
+        tokens = tokenize("8 'hFF")
+        assert tokens[0].kind == TokenKind.BASED_NUMBER
+        assert tokens[0].text == "8'hFF"
+
+    def test_system_identifier(self):
+        tokens = tokenize("$display")
+        assert tokens[0].kind == TokenKind.SYSTEM_IDENT
+        assert tokens[0].text == "$display"
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == TokenKind.STRING
+        assert tokens[0].text == "hello world"
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", [
+        "<=", ">=", "==", "!=", "===", "!==", "&&", "||", "<<", ">>",
+        "<<<", ">>>", "+:", "-:", "**", "~&", "~|", "~^",
+    ])
+    def test_multichar_operator(self, op):
+        tokens = tokenize(op)
+        assert tokens[0].kind == TokenKind.PUNCT
+        assert tokens[0].text == op
+
+    def test_maximal_munch(self):
+        # "<<<" must lex as one token, not "<<" + "<".
+        assert texts("a <<< b") == ["a", "<<<", "b"]
+
+    def test_le_vs_lt(self):
+        assert texts("a <= b < c") == ["a", "<=", "b", "<", "c"]
+
+    def test_single_punct(self):
+        assert texts("(a)") == ["(", "a", ")"]
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(HdlSyntaxError):
+            tokenize("/* never closed")
+
+    def test_compiler_directive_skipped(self):
+        assert texts("`timescale 1ns/1ps\nmodule") == ["module"]
+
+
+class TestLocations:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\nc")
+        assert [t.location.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_column_tracking(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].location.column == 1
+        assert tokens[1].location.column == 4
+
+    def test_error_carries_location(self):
+        with pytest.raises(HdlSyntaxError) as err:
+            tokenize("a\n  \x01")
+        assert err.value.location.line == 2
+
+
+class TestErrors:
+    def test_invalid_base(self):
+        with pytest.raises(HdlSyntaxError):
+            tokenize("8'q12")
+
+    def test_number_missing_digits(self):
+        with pytest.raises(HdlSyntaxError):
+            tokenize("8'h ;")
+
+    def test_bare_dollar(self):
+        with pytest.raises(HdlSyntaxError):
+            tokenize("$ ")
+
+    def test_unterminated_string(self):
+        with pytest.raises(HdlSyntaxError):
+            tokenize('"unclosed')
+
+
+def test_token_helpers():
+    token = tokenize("module")[0]
+    assert token.is_keyword("module")
+    assert not token.is_punct("module")
+    punct = tokenize(";")[0]
+    assert punct.is_punct(";")

@@ -1,0 +1,214 @@
+"""LLM layer tests: schema, prompts, mock determinism, token accounting."""
+
+import json
+
+import pytest
+
+from repro.llm import (
+    MockLLM,
+    MockLLMProfile,
+    REPAIR_SCHEMA,
+    SchemaValidationError,
+    build_repair_prompt,
+    build_syntax_prompt,
+    extract_section,
+    parse_structured_response,
+    validate_schema,
+)
+from repro.llm.client import estimate_tokens
+from repro.llm.prompts import SECTION_CODE, SECTION_ERROR
+from repro.llm.schema import COMPLETE_SCHEMA
+
+
+class TestSchema:
+    def test_valid_repair_response(self):
+        data = parse_structured_response(
+            json.dumps({
+                "module_name": "m", "analysis": "x",
+                "correct": [["old", "new"]],
+            })
+        )
+        assert data["correct"][0] == ["old", "new"]
+
+    def test_markdown_fences_stripped(self):
+        text = "```json\n" + json.dumps(
+            {"module_name": "m", "analysis": "", "correct": []}
+        ) + "\n```"
+        assert parse_structured_response(text)["module_name"] == "m"
+
+    def test_leading_prose_tolerated(self):
+        text = "Sure! Here is the fix:\n" + json.dumps(
+            {"module_name": "m", "analysis": "", "correct": []}
+        )
+        assert parse_structured_response(text)["module_name"] == "m"
+
+    def test_missing_required_key(self):
+        with pytest.raises(SchemaValidationError):
+            parse_structured_response(json.dumps({"module_name": "m"}))
+
+    def test_wrong_type(self):
+        with pytest.raises(SchemaValidationError):
+            parse_structured_response(
+                json.dumps({
+                    "module_name": 3, "analysis": "", "correct": [],
+                })
+            )
+
+    def test_pair_min_items(self):
+        with pytest.raises(SchemaValidationError):
+            parse_structured_response(
+                json.dumps({
+                    "module_name": "m", "analysis": "",
+                    "correct": [["only-one"]],
+                })
+            )
+
+    def test_not_json(self):
+        with pytest.raises(SchemaValidationError):
+            parse_structured_response("no json here")
+
+    def test_complete_schema(self):
+        data = parse_structured_response(
+            json.dumps({"module_name": "m", "analysis": "", "code": "x"}),
+            COMPLETE_SCHEMA,
+        )
+        assert data["code"] == "x"
+
+    def test_validate_schema_nested_path(self):
+        with pytest.raises(SchemaValidationError) as err:
+            validate_schema(
+                {"module_name": "m", "analysis": "", "correct": [[1, 2]]},
+                REPAIR_SCHEMA,
+            )
+        assert "correct" in str(err.value)
+
+    def test_enum(self):
+        with pytest.raises(SchemaValidationError):
+            validate_schema("c", {"type": "string", "enum": ["a", "b"]})
+
+
+class TestPrompts:
+    def test_sections_roundtrip(self):
+        prompt = build_repair_prompt(
+            "module m; endmodule", "the spec", "error info",
+            damage_repairs=[("bad", "worse")],
+        )
+        assert extract_section(prompt, SECTION_CODE) == "module m; endmodule"
+        assert "error info" in extract_section(prompt, SECTION_ERROR)
+        assert "bad" in prompt
+
+    def test_pair_vs_complete_instructions(self):
+        pair = build_repair_prompt("c", "s", "e", patch_form="pair")
+        complete = build_repair_prompt("c", "s", "e", patch_form="complete")
+        assert "correct" in pair
+        assert "complete corrected module" in complete
+
+    def test_syntax_prompt_contains_lint(self):
+        prompt = build_syntax_prompt("module m; endmodule", "%Error: x")
+        assert "%Error: x" in prompt
+
+    def test_extract_missing_section(self):
+        assert extract_section("nothing here", SECTION_CODE) == ""
+
+
+class TestMockDeterminism:
+    def _prompt(self):
+        from repro.bench import get_module
+
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        return build_repair_prompt(
+            buggy, bench.spec,
+            "Mismatch signals: out\n@t=45: signal 'out' expected 4'h1 got "
+            "4'hf (inputs: valid_count=1)",
+        )
+
+    def test_same_seed_same_response(self):
+        first = MockLLM(seed=7).complete(self._prompt()).text
+        second = MockLLM(seed=7).complete(self._prompt()).text
+        assert first == second
+
+    def test_different_seed_may_differ_but_valid(self):
+        for seed in range(3):
+            text = MockLLM(seed=seed).complete(self._prompt()).text
+            data = parse_structured_response(text)
+            assert "correct" in data
+
+    def test_repeated_calls_vary(self):
+        llm = MockLLM(seed=0)
+        texts = {llm.complete(self._prompt()).text for _ in range(4)}
+        # Sampling temperature: not all four calls need be identical.
+        assert len(texts) >= 1  # sanity; variation is allowed not forced
+
+    def test_token_accounting(self):
+        llm = MockLLM(seed=0)
+        assert llm.budget.calls == 0
+        response = llm.complete(self._prompt())
+        assert llm.budget.calls == 1
+        assert response.prompt_tokens > 0
+        assert response.completion_tokens > 0
+        assert llm.budget.cost_usd > 0
+
+    def test_estimate_tokens(self):
+        assert estimate_tokens("x" * 400) == 100
+        assert estimate_tokens("") == 1
+
+
+class TestMockRepairBehaviour:
+    def test_syntax_task_fixes_typo(self):
+        from repro.bench import get_module
+
+        bench = get_module("adder_8bit")
+        buggy = bench.source.replace("assign", "asign")
+        prompt = build_syntax_prompt(buggy, "%Error: ...")
+        response = MockLLM(seed=0).complete(prompt, task="syntax")
+        data = parse_structured_response(response.text)
+        flattened = json.dumps(data["correct"])
+        assert "assign" in flattened
+
+    def test_repair_task_honours_damage_exclusion(self):
+        from repro.bench import get_module
+
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        error = (
+            "Mismatch signals: out\n@t=45: signal 'out' expected 4'h1 got "
+            "4'hf (inputs: valid_count=1)"
+        )
+        first_prompt = build_repair_prompt(buggy, bench.spec, error)
+        llm = MockLLM(seed=1)
+        first = parse_structured_response(
+            llm.complete(first_prompt).text
+        )["correct"]
+        if not first:
+            pytest.skip("mock declined to repair on this seed")
+        damage = [(first[0][0], first[0][1])]
+        second_prompt = build_repair_prompt(
+            buggy, bench.spec, error, damage_repairs=damage
+        )
+        second = parse_structured_response(
+            llm.complete(second_prompt).text
+        )["correct"]
+        assert second != first
+
+    def test_complete_form_returns_whole_module(self):
+        from repro.bench import get_module
+
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        prompt = build_repair_prompt(
+            buggy, bench.spec, "Mismatch signals: out",
+            patch_form="complete",
+        )
+        response = MockLLM(seed=0).complete(prompt)
+        data = parse_structured_response(response.text, COMPLETE_SCHEMA)
+        assert "module counter_12" in data["code"]
+
+    def test_judge_task_returns_verdict(self):
+        response = MockLLM(seed=0).complete("judge this", task="judge")
+        assert "verdict" in response.text
+
+    def test_profile_scaling(self):
+        profile = MockLLMProfile(derail_rate=0.2, complexity_penalty=0.5)
+        assert profile.scaled(0.2, 200) > 0.2
+        assert profile.scaled(0.2, 200) <= 0.9

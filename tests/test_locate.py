@@ -1,0 +1,158 @@
+"""Localization engine tests: DFG, slicing, MS/SL escalation."""
+
+import pytest
+
+from repro.bench import get_module, make_hr_sequence
+from repro.hdl.parser import parse_module
+from repro.locate import (
+    LocalizationEngine,
+    build_dfg,
+    dynamic_slice,
+)
+from repro.locate.slicing import related_signals
+from repro.uvm import run_uvm_test
+
+COUNTER = get_module("counter_12").source
+
+
+class TestDfg:
+    def test_defs_of_output(self):
+        dfg = build_dfg(parse_module(COUNTER))
+        sites = dfg.defs_of("out")
+        assert len(sites) >= 3  # reset, wrap, increment
+
+    def test_reads_include_guards(self):
+        dfg = build_dfg(parse_module(COUNTER))
+        reads = set()
+        for site in dfg.defs_of("out"):
+            reads.update(site.reads)
+        assert "valid_count" in reads
+        assert "rst_n" in reads
+
+    def test_dependencies_transitive(self):
+        source = (
+            "module m(input a, output y);\nwire t;\n"
+            "assign t = ~a;\nassign y = t;\nendmodule"
+        )
+        dfg = build_dfg(parse_module(source))
+        assert "a" in dfg.dependencies("y")
+
+    def test_guard_lines_recorded(self):
+        dfg = build_dfg(parse_module(COUNTER))
+        guard_lines = set()
+        for site in dfg.defs_of("out"):
+            guard_lines.update(site.guard_lines)
+        assert guard_lines  # the if conditions have source lines
+
+    def test_case_guards(self):
+        source = get_module("fsm_seq").source
+        dfg = build_dfg(parse_module(source))
+        sites = dfg.defs_of("state")
+        assert any(site.guards for site in sites)
+
+    def test_instance_edges(self):
+        source = get_module("adder_16bit").source
+        from repro.hdl.parser import parse_source
+
+        module = parse_source(source).find_module("adder_16bit")
+        dfg = build_dfg(module)
+        assert dfg.defs_of("sum")  # via the instance connections
+
+
+class TestDynamicSlice:
+    def _buggy_result(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        result = run_uvm_test(
+            buggy, make_hr_sequence(bench), bench.protocol,
+            bench.model(), bench.compare_signals,
+        )
+        return buggy, result
+
+    def test_slice_finds_defect_line(self):
+        buggy, result = self._buggy_result()
+        dfg = build_dfg(parse_module(buggy))
+        record = result.mismatches[0]
+        items = dynamic_slice(dfg, "out", trace=result.trace,
+                              time=record.time)
+        buggy_line = next(
+            i + 1 for i, line in enumerate(buggy.splitlines())
+            if "out - 4'd1" in line
+        )
+        assert buggy_line in [item.line for item in items]
+
+    def test_active_ranking_deranks_reset_branch(self):
+        buggy, result = self._buggy_result()
+        dfg = build_dfg(parse_module(buggy))
+        record = result.mismatches[-1]  # mismatch with reset released
+        items = dynamic_slice(dfg, "out", trace=result.trace,
+                              time=record.time)
+        reset_line = next(
+            i + 1 for i, line in enumerate(buggy.splitlines())
+            if line.strip() == "out <= 4'b0;"
+        )
+        actives = [item.line for item in items if item.active]
+        assert reset_line not in actives
+
+    def test_static_slice_without_trace(self):
+        dfg = build_dfg(parse_module(COUNTER))
+        items = dynamic_slice(dfg, "out")
+        assert items
+        assert all(item.active for item in items)
+
+    def test_related_signals(self):
+        dfg = build_dfg(parse_module(COUNTER))
+        related = related_signals(dfg, "out")
+        assert "valid_count" in related
+
+
+class TestLocalizationEngine:
+    def _analyze(self, iteration):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        result = run_uvm_test(
+            buggy, make_hr_sequence(bench), bench.protocol,
+            bench.model(), bench.compare_signals,
+        )
+        engine = LocalizationEngine(ms_iterations=2)
+        return buggy, engine.analyze(buggy, result, iteration=iteration)
+
+    def test_ms_mode_early(self):
+        _, info = self._analyze(iteration=0)
+        assert info.mode == "MS"
+        assert info.mismatch_signals == ["out"]
+        assert not info.suspicious_lines
+
+    def test_sl_mode_after_threshold(self):
+        _, info = self._analyze(iteration=2)
+        assert info.mode == "SL"
+        assert info.suspicious_lines
+
+    def test_summary_contains_values(self):
+        buggy, info = self._analyze(iteration=0)
+        summary = info.summary(buggy.splitlines())
+        assert "Mismatch signals: out" in summary
+        assert "expected" in summary
+
+    def test_sl_summary_quotes_source(self):
+        buggy, info = self._analyze(iteration=3)
+        summary = info.summary(buggy.splitlines())
+        assert "Suspicious lines" in summary
+        assert "out" in summary
+
+    def test_sim_error_path(self):
+        from repro.uvm.test import TestResult
+
+        engine = LocalizationEngine()
+        info = engine.analyze(
+            "module m; endmodule",
+            TestResult(ok=False, error="boom"),
+            iteration=0,
+        )
+        assert info.sim_error == "boom"
+        assert "boom" in info.summary()
+
+    def test_input_values_at_mismatch(self):
+        _, info = self._analyze(iteration=0)
+        assert info.input_values
+        assert "valid_count" in info.input_values[0]

@@ -1,0 +1,87 @@
+"""Metrics tests: HR/FR accounting and the timing model."""
+
+import pytest
+
+from repro.llm.client import LLMResponse
+from repro.metrics import RateSummary, SimClock, TimingModel, fix_rate, hit_rate
+from repro.metrics.timing import (
+    LINT_SECONDS,
+    LLM_LATENCY_BASE,
+    SIM_SECONDS_BASE,
+)
+
+
+class _Outcome:
+    def __init__(self, hit, fixed):
+        self.hit = hit
+        self.fixed = fixed
+
+
+class TestRates:
+    def test_rate_summary(self):
+        summary = RateSummary()
+        summary.add(hit=True, fixed=True)
+        summary.add(hit=True, fixed=False)
+        summary.add(hit=False, fixed=False)
+        assert summary.hr == pytest.approx(200 / 3)
+        assert summary.fr == pytest.approx(100 / 3)
+        assert summary.gap == pytest.approx(100 / 3)
+
+    def test_merge(self):
+        a = RateSummary(total=2, hits=2, fixes=1)
+        b = RateSummary(total=2, hits=0, fixes=0)
+        a.merge(b)
+        assert a.total == 4
+        assert a.hr == 50.0
+
+    def test_empty_rates(self):
+        assert RateSummary().hr == 0.0
+        assert hit_rate([]) == 0.0
+        assert fix_rate([]) == 0.0
+
+    def test_hit_fix_rate_functions(self):
+        outcomes = [_Outcome(True, True), _Outcome(True, False)]
+        assert hit_rate(outcomes) == 100.0
+        assert fix_rate(outcomes) == 50.0
+
+
+class TestTimingModel:
+    def test_llm_call_scales_with_completion_tokens(self):
+        timing = TimingModel()
+        small = timing.llm_call(
+            "x", LLMResponse("", prompt_tokens=100, completion_tokens=10)
+        )
+        large = timing.llm_call(
+            "x", LLMResponse("", prompt_tokens=100, completion_tokens=1000)
+        )
+        assert large > small
+        assert small >= LLM_LATENCY_BASE
+
+    def test_stage_attribution(self):
+        timing = TimingModel()
+        timing.lint("preprocess")
+        timing.simulation(1000, stage="ms")
+        assert timing.clock.stage_seconds("preprocess") == LINT_SECONDS
+        assert timing.clock.stage_seconds("ms") >= SIM_SECONDS_BASE
+        assert timing.seconds == pytest.approx(
+            sum(timing.clock.by_stage.values())
+        )
+
+    def test_simulation_scales_with_events(self):
+        timing = TimingModel()
+        small = timing.simulation(100)
+        large = timing.simulation(100000)
+        assert large > small
+
+    def test_clock_accumulates(self):
+        clock = SimClock()
+        clock.charge("a", 1.0)
+        clock.charge("a", 2.0)
+        clock.charge("b", 0.5)
+        assert clock.seconds == 3.5
+        assert clock.stage_seconds("a") == 3.0
+
+    def test_template_fix_is_cheap(self):
+        timing = TimingModel()
+        template = timing.template_fix()
+        assert template < LINT_SECONDS

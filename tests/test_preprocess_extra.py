@@ -1,0 +1,137 @@
+"""Additional pre-processing and prompt-plumbing edge cases."""
+
+import pytest
+
+from repro.bench import get_module
+from repro.core import Preprocessor, apply_pairs
+from repro.core.repair import RepairAgent
+from repro.lint import lint_source
+from repro.llm import MockLLM
+from repro.llm.client import LLMClient
+from repro.metrics.timing import TimingModel
+
+
+class _ScriptedLLM(LLMClient):
+    """Test double returning canned responses."""
+
+    model_name = "scripted"
+
+    def __init__(self, responses):
+        super().__init__()
+        self.responses = list(responses)
+
+    def complete(self, prompt, task="repair", temperature=0.0):
+        text = self.responses.pop(0) if self.responses else "{}"
+        return self._record(prompt, text)
+
+
+class TestPreprocessorRobustness:
+    def test_invalid_json_response_retried(self):
+        bench = get_module("adder_8bit")
+        buggy = bench.source.replace("assign", "asign")
+        llm = _ScriptedLLM([
+            "I think the problem is the typo!",  # no JSON: retry
+            '{"module_name": "adder_8bit", "analysis": "",'
+            ' "correct": [["asign", "assign"]]}',
+        ])
+        pre = Preprocessor(llm, TimingModel())
+        out, report = pre.run(buggy)
+        assert not lint_source(out).errors
+        assert report.llm_calls == 2
+
+    def test_unhelpful_pairs_bounded(self):
+        bench = get_module("adder_8bit")
+        buggy = bench.source.replace("assign", "asign")
+        llm = _ScriptedLLM(
+            ['{"module_name": "m", "analysis": "", "correct": []}'] * 10
+        )
+        pre = Preprocessor(llm, TimingModel(), max_iterations=3)
+        out, report = pre.run(buggy)
+        assert report.iterations <= 3
+        assert not report.clean
+
+    def test_multiple_error_kinds_in_one_file(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("always", "alway").replace(
+            "out + 4'd1", "out + 4'd1"
+        )
+        # Also inject a fixable warning AFTER the syntax fix lands.
+        pre = Preprocessor(MockLLM(seed=0), TimingModel())
+        out, report = pre.run(buggy)
+        assert not lint_source(out).errors
+
+
+class TestRepairAgentPlumbing:
+    def test_invalid_response_marks_proposal_invalid(self):
+        agent = RepairAgent(_ScriptedLLM(["garbage, not json"]))
+        proposal = agent.propose("module m; endmodule", "spec", "err")
+        assert not proposal.valid
+
+    def test_pair_application_counts(self):
+        agent = RepairAgent(_ScriptedLLM([
+            '{"module_name": "m", "analysis": "a",'
+            ' "correct": [["wire x;", "wire y;"]]}'
+        ]))
+        proposal = agent.propose(
+            "module m;\nwire x;\nendmodule\n", "spec", "err"
+        )
+        assert proposal.valid
+        assert proposal.applied == 1
+        assert "wire y;" in proposal.source
+
+    def test_complete_form_empty_code_invalid(self):
+        agent = RepairAgent(
+            _ScriptedLLM(
+                ['{"module_name": "m", "analysis": "", "code": "  "}']
+            ),
+            patch_form="complete",
+        )
+        proposal = agent.propose("module m; endmodule", "spec", "err")
+        assert not proposal.valid
+
+    def test_complete_form_replaces_source(self):
+        agent = RepairAgent(
+            _ScriptedLLM([
+                '{"module_name": "m", "analysis": "",'
+                ' "code": "module m(input a); endmodule"}'
+            ]),
+            patch_form="complete",
+        )
+        proposal = agent.propose("module m; endmodule", "spec", "err")
+        assert proposal.valid
+        assert "input a" in proposal.source
+        assert proposal.source.endswith("\n")
+
+    def test_timing_charged_to_stage(self):
+        timing = TimingModel()
+        agent = RepairAgent(
+            _ScriptedLLM(
+                ['{"module_name": "m", "analysis": "", "correct": []}']
+            ),
+            timing,
+        )
+        agent.propose("module m; endmodule", "spec", "err", stage="sl")
+        assert timing.clock.stage_seconds("sl") > 0
+
+
+class TestApplyPairsRegressionCases:
+    def test_contextualized_pair_lands_on_right_occurrence(self):
+        source = (
+            "module m;\n"
+            "    if (a) begin\n"
+            "        q <= 1'b0;\n"
+            "    end else begin\n"
+            "        q <= 1'b0;\n"
+            "    end\n"
+            "endmodule\n"
+        )
+        # Quote the context to hit the SECOND occurrence.
+        pair = (
+            "    end else begin\n        q <= 1'b0;",
+            "    end else begin\n        q <= 1'b1;",
+        )
+        out, applied = apply_pairs(source, [pair])
+        assert applied == 1
+        lines = out.splitlines()
+        assert lines[2].strip() == "q <= 1'b0;"
+        assert lines[4].strip() == "q <= 1'b1;"

@@ -1,0 +1,271 @@
+"""Repair-knowledge engine tests (syntax + functional heuristics)."""
+
+import pytest
+
+from repro.bench import get_module
+from repro.lint import lint_source
+from repro.llm.repair_knowledge import (
+    FunctionalRepairEngine,
+    _derive_hints,
+    _name_similarity,
+)
+from repro.llm.syntax_knowledge import (
+    SyntaxRepairEngine,
+    edit_distance,
+    fix_keyword_typos,
+)
+
+
+class TestEditDistance:
+    def test_identity(self):
+        assert edit_distance("always", "always") == 0
+
+    def test_one_edit(self):
+        assert edit_distance("alway", "always") == 1
+        assert edit_distance("asign", "assign") == 1
+
+    def test_cutoff(self):
+        assert edit_distance("abc", "xyzzy", limit=2) > 2
+
+
+class TestKeywordTypos:
+    def test_fixes_known_typos(self):
+        source = "modul m(input a);\nalway @(*) y = a;\nendmodule"
+        fixed, pairs = fix_keyword_typos(source)
+        assert "module m" in fixed
+        assert "always @" in fixed
+        assert len(pairs) == 2
+
+    def test_preserves_declared_identifiers(self):
+        # 'modulo' is a legit signal name; must not be "fixed".
+        source = "module m(input modulo, output y);\nassign y = modulo;\nendmodule"
+        fixed, pairs = fix_keyword_typos(source, {"modulo", "m", "y"})
+        assert "modulo" in fixed
+        assert not pairs
+
+
+class TestSyntaxEngine:
+    def _fixes(self, source):
+        engine = SyntaxRepairEngine()
+        fixed, pairs, ok = engine.repair(source)
+        return fixed, ok
+
+    def test_missing_semicolon(self):
+        fixed, ok = self._fixes(
+            "module m(input a, output y);\nwire t\nassign t = a;\n"
+            "assign y = t;\nendmodule"
+        )
+        assert ok
+
+    def test_missing_endmodule(self):
+        fixed, ok = self._fixes(
+            "module m(input a, output y);\nassign y = a;\n"
+        )
+        assert ok
+        assert "endmodule" in fixed
+
+    def test_missing_end(self):
+        fixed, ok = self._fixes(
+            "module m(input clk, output reg q);\n"
+            "always @(posedge clk) begin\nq <= 1'b1;\nendmodule"
+        )
+        assert ok
+
+    def test_missing_begin_restored(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace(
+            "always @(posedge clk or negedge rst_n) begin",
+            "always @(posedge clk or negedge rst_n)",
+        )
+        fixed, ok = self._fixes(buggy)
+        assert ok
+
+    def test_missing_declaration_with_width_guess(self):
+        bench = get_module("accu")
+        buggy = bench.source.replace("    reg [9:0] sum;\n", "")
+        fixed, ok = self._fixes(buggy)
+        assert ok
+        assert "sum" in fixed
+        report = lint_source(fixed)
+        assert not report.errors
+
+    def test_width_guess_from_localparam(self):
+        bench = get_module("fsm_seq")
+        buggy = bench.source.replace("    reg [1:0] state;\n", "")
+        fixed, ok = self._fixes(buggy)
+        assert ok
+        assert "[1:0] state" in fixed
+
+    def test_wire_to_reg(self):
+        fixed, ok = self._fixes(
+            "module m(input clk, input a, output y);\nwire t;\n"
+            "always @(posedge clk) t <= a;\nassign y = t;\nendmodule"
+        )
+        assert ok
+        assert "reg t" in fixed or "reg  t" in fixed
+
+    def test_operator_garbage(self):
+        fixed, ok = self._fixes(
+            "module m(input clk, input a, output reg y);\n"
+            "always @(posedge clk) y =< a;\nendmodule"
+        )
+        assert ok
+
+    def test_port_name_typo(self):
+        fixed, ok = self._fixes(
+            "module sub(input alpha, output beta);\n"
+            "assign beta = alpha;\nendmodule\n"
+            "module m(input a, output y);\n"
+            "sub u(.alpa(a), .beta(y));\nendmodule"
+        )
+        assert ok
+        assert ".alpha(" in fixed
+
+
+class TestFocusLines:
+    def test_ms_focus_prioritizes_assignments(self):
+        bench = get_module("counter_12")
+        engine = FunctionalRepairEngine()
+        focus = engine.focus_lines_for(bench.source, ["out"], None)
+        lines = bench.source.splitlines()
+        assert any("out" in lines[n - 1] for n in focus[:3])
+
+    def test_ms_focus_includes_condition_lines(self):
+        bench = get_module("counter_12")
+        engine = FunctionalRepairEngine()
+        focus = engine.focus_lines_for(bench.source, ["out"], None)
+        lines = bench.source.splitlines()
+        assert any("4'd11" in lines[n - 1] for n in focus)
+
+    def test_no_info_means_whole_file(self):
+        bench = get_module("counter_12")
+        engine = FunctionalRepairEngine()
+        focus = engine.focus_lines_for(bench.source, [], None)
+        code_lines = [
+            i for i, l in enumerate(bench.source.splitlines(), 1)
+            if l.strip()
+        ]
+        assert focus == code_lines
+
+    def test_sl_focus_follows_suspicious(self):
+        engine = FunctionalRepairEngine()
+
+        class Item:
+            def __init__(self, line):
+                self.line = line
+
+        focus = engine.focus_lines_for(
+            get_module("counter_12").source, ["out"], [Item(14), Item(9)]
+        )
+        assert focus[0] == 14
+
+    def test_truncation_hint_puts_decls_first(self):
+        bench = get_module("counter_12")
+        engine = FunctionalRepairEngine()
+        focus = engine.focus_lines_for(
+            bench.source, ["out"], None, hints={"truncation_strong": True}
+        )
+        lines = bench.source.splitlines()
+        assert "[3:0]" in lines[focus[0] - 1]
+
+
+class TestCandidates:
+    def test_operator_swap_candidate_exists(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace("out + 4'd1", "out - 4'd1")
+        engine = FunctionalRepairEngine()
+        focus = engine.focus_lines_for(buggy, ["out"], None)
+        kinds = {
+            c.patched.strip()
+            for c in engine.candidates(buggy, focus)
+        }
+        assert any("out + 4'd1" in k for k in kinds)
+
+    def test_assignment_operator_never_touched(self):
+        source = "module m(input clk, output reg q);\nalways @(posedge clk) q <= 1'b1;\nendmodule"
+        engine = FunctionalRepairEngine()
+        for candidate in engine.candidates(source, [2]):
+            assert "<=" in candidate.patched or "q" not in candidate.patched
+
+    def test_constant_candidates_in_range(self):
+        source = (
+            "module m(input clk, output reg [3:0] q);\n"
+            "always @(posedge clk) q <= 4'd9;\nendmodule"
+        )
+        engine = FunctionalRepairEngine()
+        for candidate in engine.candidates(source, [2]):
+            if candidate.kind.startswith("const"):
+                value = int(candidate.kind.split("->")[-1])
+                assert value <= 15
+
+    def test_width_candidates_on_declarations(self):
+        bench = get_module("counter_12")
+        engine = FunctionalRepairEngine()
+        decl_line = next(
+            i for i, l in enumerate(bench.source.splitlines(), 1)
+            if "[3:0] out" in l
+        )
+        kinds = {
+            c.kind for c in engine.candidates(bench.source, [decl_line])
+        }
+        assert "width:3->4" in kinds
+
+    def test_narrowing_suppressed_under_truncation(self):
+        bench = get_module("counter_12")
+        engine = FunctionalRepairEngine()
+        decl_line = next(
+            i for i, l in enumerate(bench.source.splitlines(), 1)
+            if "[3:0] out" in l
+        )
+        kinds = {
+            c.kind for c in engine.candidates(
+                bench.source, [decl_line],
+                hints={"truncation_strong": True, "truncation": True},
+            )
+        }
+        assert "width:3->2" not in kinds
+
+    def test_sensitivity_candidate_adds_reset(self):
+        bench = get_module("counter_12")
+        buggy = bench.source.replace(" or negedge rst_n", "")
+        engine = FunctionalRepairEngine()
+        always_line = next(
+            i for i, l in enumerate(buggy.splitlines(), 1) if "always" in l
+        )
+        patched = [
+            c.patched for c in engine.candidates(buggy, [always_line])
+        ]
+        assert any("negedge rst_n" in p for p in patched)
+
+    def test_candidates_deduplicated(self):
+        bench = get_module("counter_12")
+        engine = FunctionalRepairEngine()
+        focus = engine.focus_lines_for(bench.source, ["out"], None)
+        candidates = engine.candidates(bench.source, focus)
+        seen = {(c.line_no, c.patched) for c in candidates}
+        assert len(seen) == len(candidates)
+
+
+class TestHints:
+    def test_truncation_detected(self):
+        hints = {"expected": 220, "actual": 220 & 127}
+        _derive_hints(hints)
+        assert hints.get("truncation")
+
+    def test_offby_detected(self):
+        hints = {"expected": 5, "actual": 6}
+        _derive_hints(hints)
+        assert hints.get("offby")
+
+    def test_inverted_detected(self):
+        hints = {"expected": 0b1010, "actual": 0b0101}
+        _derive_hints(hints)
+        assert hints.get("inverted")
+
+    def test_none_values_safe(self):
+        hints = {"expected": None, "actual": 3}
+        _derive_hints(hints)  # must not raise
+
+    def test_name_similarity(self):
+        assert _name_similarity("rptr", "wptr") >= 0.6
+        assert _name_similarity("abc", "xyz") == 0.0

@@ -1,0 +1,341 @@
+"""Simulator tests: combinational, sequential, memory, hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SimulationError, Simulator
+
+
+class TestCombinational:
+    def test_continuous_assign(self):
+        sim = Simulator(
+            "module m(input [7:0] a, input [7:0] b, output [7:0] y);\n"
+            "assign y = a + b;\nendmodule"
+        )
+        sim.set("a", 10)
+        sim.set("b", 20)
+        assert sim.get_int("y") == 30
+
+    def test_carry_through_concat_target(self):
+        sim = Simulator(
+            "module m(input [7:0] a, input [7:0] b, output [7:0] s,"
+            " output co);\nassign {co, s} = a + b;\nendmodule"
+        )
+        sim.set("a", 200)
+        sim.set("b", 100)
+        assert sim.get_int("s") == (300) & 0xFF
+        assert sim.get_int("co") == 1
+
+    def test_always_star(self):
+        sim = Simulator(
+            "module m(input [3:0] a, output reg [3:0] y);\n"
+            "always @(*) y = ~a;\nendmodule"
+        )
+        sim.set("a", 0b1010)
+        assert sim.get_int("y") == 0b0101
+
+    def test_comb_chain_propagates(self):
+        sim = Simulator(
+            "module m(input a, output y);\n"
+            "wire t1, t2;\nassign t1 = ~a;\nassign t2 = ~t1;\n"
+            "assign y = ~t2;\nendmodule"
+        )
+        sim.set("a", 1)
+        assert sim.get_int("y") == 0
+        sim.set("a", 0)
+        assert sim.get_int("y") == 1
+
+    def test_self_reading_comb_block_settles(self):
+        # An @(*) block that reads and writes the same reg must not
+        # oscillate (multi_booth pattern).
+        sim = Simulator(
+            "module m(input [7:0] a, output [7:0] p);\n"
+            "reg [7:0] acc;\ninteger i;\n"
+            "always @(*) begin\nacc = 8'b0;\n"
+            "for (i = 0; i < 4; i = i + 1) acc = acc + a;\nend\n"
+            "assign p = acc;\nendmodule"
+        )
+        sim.set("a", 3)
+        assert sim.get_int("p") == 12
+
+    def test_ternary(self):
+        sim = Simulator(
+            "module m(input s, input [3:0] a, input [3:0] b,"
+            " output [3:0] y);\nassign y = s ? a : b;\nendmodule"
+        )
+        sim.set("a", 5)
+        sim.set("b", 9)
+        sim.set("s", 1)
+        assert sim.get_int("y") == 5
+        sim.set("s", 0)
+        assert sim.get_int("y") == 9
+
+
+class TestSequential:
+    COUNTER = (
+        "module m(input clk, input rst_n, output reg [3:0] q);\n"
+        "always @(posedge clk or negedge rst_n) begin\n"
+        "if (!rst_n) q <= 4'b0; else q <= q + 4'd1;\nend\nendmodule"
+    )
+
+    def test_counter_counts(self):
+        sim = Simulator(self.COUNTER)
+        sim.set("clk", 0)
+        sim.set("rst_n", 0)
+        sim.set("rst_n", 1)
+        sim.tick(cycles=5)
+        assert sim.get_int("q") == 5
+
+    def test_async_reset_without_clock(self):
+        sim = Simulator(self.COUNTER)
+        sim.set("clk", 0)
+        sim.set("rst_n", 1)
+        sim.tick(cycles=3)
+        sim.set("rst_n", 0)  # no clock edge
+        assert sim.get_int("q") == 0
+
+    def test_nba_ordering_swap(self):
+        # Classic register swap only works with non-blocking semantics.
+        sim = Simulator(
+            "module m(input clk, output reg a, output reg b);\n"
+            "initial begin a = 1'b0; b = 1'b1; end\n"
+            "always @(posedge clk) begin a <= b; b <= a; end\nendmodule"
+        )
+        sim.set("clk", 0)
+        sim.tick()
+        assert (sim.get_int("a"), sim.get_int("b")) == (1, 0)
+        sim.tick()
+        assert (sim.get_int("a"), sim.get_int("b")) == (0, 1)
+
+    def test_nba_last_write_wins(self):
+        sim = Simulator(
+            "module m(input clk, output reg q);\n"
+            "always @(posedge clk) begin q <= 1'b0; q <= 1'b1; end\n"
+            "endmodule"
+        )
+        sim.set("clk", 0)
+        sim.tick()
+        assert sim.get_int("q") == 1
+
+    def test_negedge_process(self):
+        sim = Simulator(
+            "module m(input clk, output reg q);\n"
+            "initial q = 1'b0;\n"
+            "always @(negedge clk) q <= ~q;\nendmodule"
+        )
+        # x -> 0 counts as a negedge (IEEE: 1->0, 1->x, x->0).
+        sim.set("clk", 0)
+        assert sim.get_int("q") == 1
+        sim.set("clk", 1)  # posedge: no toggle
+        assert sim.get_int("q") == 1
+        sim.set("clk", 0)  # a real 1 -> 0 negedge
+        assert sim.get_int("q") == 0
+
+    def test_nba_index_captured_at_schedule(self):
+        # regs[i] <= 0 in a for loop must write each element, not just
+        # the final loop index.
+        sim = Simulator(
+            "module m(input clk, input rst_n, input [1:0] raddr,"
+            " output [7:0] rdata);\n"
+            "reg [7:0] regs [0:3];\ninteger i;\n"
+            "assign rdata = regs[raddr];\n"
+            "always @(posedge clk or negedge rst_n) begin\n"
+            "if (!rst_n) begin\n"
+            "for (i = 0; i < 4; i = i + 1) regs[i] <= 8'd7;\nend\nend\n"
+            "endmodule"
+        )
+        sim.set("clk", 0)
+        sim.set("rst_n", 0)
+        sim.set("rst_n", 1)
+        for addr in range(4):
+            sim.set("raddr", addr)
+            assert sim.get_int("rdata") == 7
+
+
+class TestMemory:
+    RAM = (
+        "module m(input clk, input we, input [1:0] addr,"
+        " input [7:0] wdata, output reg [7:0] rdata);\n"
+        "reg [7:0] mem [0:3];\n"
+        "always @(posedge clk) begin\n"
+        "if (we) mem[addr] <= wdata;\nrdata <= mem[addr];\nend\nendmodule"
+    )
+
+    def test_write_then_read(self):
+        sim = Simulator(self.RAM)
+        sim.set("clk", 0)
+        sim.set("we", 1)
+        sim.set("addr", 2)
+        sim.set("wdata", 0xAB)
+        sim.tick()
+        sim.set("we", 0)
+        sim.tick()
+        assert sim.get_int("rdata") == 0xAB
+
+    def test_read_before_write_semantics(self):
+        sim = Simulator(self.RAM)
+        sim.set("clk", 0)
+        sim.set("we", 1)
+        sim.set("addr", 1)
+        sim.set("wdata", 1)
+        sim.tick()
+        sim.set("wdata", 2)
+        sim.tick()  # rdata must capture the OLD value (1)
+        assert sim.get_int("rdata") == 1
+
+    def test_uninitialized_read_is_x(self):
+        sim = Simulator(self.RAM)
+        sim.set("clk", 0)
+        sim.set("we", 0)
+        sim.set("addr", 3)
+        sim.tick()
+        assert sim.get("rdata").has_x
+
+    def test_peek_memory(self):
+        sim = Simulator(self.RAM)
+        sim.set("clk", 0)
+        sim.set("we", 1)
+        sim.set("addr", 0)
+        sim.set("wdata", 9)
+        sim.tick()
+        assert sim.peek_memory("mem", 0).to_int() == 9
+
+
+class TestHierarchy:
+    SOURCE = (
+        "module half(input [3:0] a, input [3:0] b, output [3:0] s,"
+        " output co);\nassign {co, s} = a + b;\nendmodule\n"
+        "module top(input [7:0] a, input [7:0] b, output [7:0] s,"
+        " output co);\nwire mid;\n"
+        "half lo(.a(a[3:0]), .b(b[3:0]), .s(s[3:0]), .co(mid));\n"
+        "half hi(.a(a[7:4] + {3'b0, mid}), .b(b[7:4]), .s(s[7:4]),"
+        " .co(co));\nendmodule"
+    )
+
+    def test_hierarchical_add(self):
+        from repro.sim.elaborate import elaborate
+
+        sim = Simulator(elaborate(self.SOURCE, top="top"))
+        sim.set("a", 0x7F)
+        sim.set("b", 0x01)
+        assert sim.get_int("s") == 0x80
+
+    def test_child_signals_have_dotted_names(self):
+        from repro.sim.elaborate import elaborate
+
+        design = elaborate(self.SOURCE, top="top")
+        assert "lo.s" in design.signals
+
+    def test_parameter_override(self):
+        source = (
+            "module inner #(parameter W = 2)(input [W-1:0] a,"
+            " output [W-1:0] y);\nassign y = ~a;\nendmodule\n"
+            "module outer(input [7:0] a, output [7:0] y);\n"
+            "inner #(.W(8)) u(.a(a), .y(y));\nendmodule"
+        )
+        from repro.sim.elaborate import elaborate
+
+        sim = Simulator(elaborate(source, top="outer"))
+        sim.set("a", 0x0F)
+        assert sim.get_int("y") == 0xF0
+
+
+class TestTracing:
+    def test_trace_records_changes(self):
+        sim = Simulator(TestSequential.COUNTER)
+        sim.set("clk", 0)
+        sim.set("rst_n", 0)
+        sim.set("rst_n", 1)
+        sim.tick(cycles=3)
+        history = sim.trace["q"]
+        assert len(history) >= 3
+
+    def test_trace_at_lookup(self):
+        sim = Simulator(TestSequential.COUNTER)
+        sim.set("clk", 0)
+        sim.set("rst_n", 0)
+        sim.set("rst_n", 1)
+        sim.step_time(1)
+        sim.tick(cycles=4)
+        assert sim.trace_at("q", 0).to_int() == 0   # right after reset
+        assert sim.trace_at("q", 1).to_int() == 1   # after first edge
+        final = sim.trace_at("q", sim.time)
+        assert final.to_int() == 4
+
+    def test_event_count_increases(self):
+        sim = Simulator(TestSequential.COUNTER)
+        before = sim.event_count
+        sim.set("rst_n", 0)
+        assert sim.event_count > before
+
+
+class TestErrors:
+    def test_unknown_signal(self):
+        sim = Simulator("module m(input a); endmodule")
+        with pytest.raises(SimulationError):
+            sim.get("nope")
+
+    def test_x_loop_settles_at_x(self):
+        # A wire loop starting from x reaches the all-x fixpoint and
+        # settles — the pessimistic 4-state semantics absorb it.
+        sim = Simulator(
+            "module m(input a, output y);\n"
+            "wire p, q;\nassign p = ~q;\nassign q = p;\n"
+            "assign y = p;\nendmodule"
+        )
+        sim.set("a", 1)
+        assert sim.get("y").has_x
+
+    def test_combinational_loop_detected(self):
+        # With definite values the inverter ring genuinely oscillates
+        # and must be reported, not spun forever.
+        sim_source = (
+            "module m(input a, output y);\n"
+            "reg p;\nreg q;\n"
+            "always @(*) begin\n"
+            "if (q) p = 1'b0; else p = 1'b1;\nend\n"
+            "always @(*) begin\n"
+            "if (p) q = a; else q = 1'b0;\nend\n"
+            "assign y = p;\nendmodule"
+        )
+        with pytest.raises(SimulationError):
+            sim = Simulator(sim_source)
+            sim.set("a", 1)
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255))
+def test_simulated_alu_matches_python(a, b):
+    sim = Simulator(
+        "module m(input [7:0] a, input [7:0] b, output [7:0] s,"
+        " output [7:0] d, output [7:0] x);\n"
+        "assign s = a + b;\nassign d = a - b;\nassign x = a ^ b;\n"
+        "endmodule"
+    )
+    sim.set("a", a)
+    sim.set("b", b)
+    assert sim.get_int("s") == (a + b) & 0xFF
+    assert sim.get_int("d") == (a - b) & 0xFF
+    assert sim.get_int("x") == a ^ b
+
+
+@settings(max_examples=15)
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                max_size=24))
+def test_shift_register_matches_model(bits):
+    sim = Simulator(
+        "module m(input clk, input rst_n, input d, output reg [7:0] q);\n"
+        "always @(posedge clk or negedge rst_n) begin\n"
+        "if (!rst_n) q <= 8'b0; else q <= {d, q[7:1]};\nend\nendmodule"
+    )
+    sim.set("clk", 0)
+    sim.set("rst_n", 0)
+    sim.set("rst_n", 1)
+    model = 0
+    for bit in bits:
+        sim.set("d", bit)
+        sim.tick()
+        model = ((bit << 7) | (model >> 1)) & 0xFF
+    assert sim.get_int("q") == model

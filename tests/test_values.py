@@ -1,0 +1,260 @@
+"""Four-state Value unit and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.values import Value, X
+
+
+def val(bits, width=8):
+    return Value(bits, width)
+
+
+class TestConstruction:
+    def test_masking(self):
+        assert Value(0x1FF, 8).bits == 0xFF
+
+    def test_xmask_clears_bits(self):
+        v = Value(0b1111, 4, xmask=0b0011)
+        assert v.bits == 0b1100
+
+    def test_all_x(self):
+        assert Value.all_x(4).is_all_x
+
+    def test_immutable(self):
+        v = val(1)
+        with pytest.raises(AttributeError):
+            v.bits = 2
+
+    def test_minimum_width(self):
+        assert Value(0, 0).width == 1
+
+
+class TestTruthiness:
+    def test_nonzero_true(self):
+        assert val(5).is_truthy() is True
+
+    def test_zero_false(self):
+        assert val(0).is_truthy() is False
+
+    def test_unknown(self):
+        assert X(4).is_truthy() is None
+
+    def test_partially_known_one(self):
+        v = Value(0b10, 2, xmask=0b01)
+        assert v.is_truthy() is True
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        assert val(255).add(val(1)).to_int() == 0
+
+    def test_add_carry_with_wider_context(self):
+        assert val(255).add(val(1), width=9).to_int() == 256
+
+    def test_sub_underflow(self):
+        assert val(0).sub(val(1)).to_int() == 255
+
+    def test_mul(self):
+        assert val(20).mul(val(10)).to_int() == 200
+
+    def test_div(self):
+        assert val(100).div(val(7)).to_int() == 14
+
+    def test_div_by_zero_is_x(self):
+        assert val(1).div(val(0)).is_all_x
+
+    def test_mod(self):
+        assert val(100).mod(val(7)).to_int() == 2
+
+    def test_x_propagates_in_add(self):
+        assert val(1).add(X(8)).has_x
+
+    def test_signed_arith(self):
+        a = Value(0xFF, 8, signed=True)  # -1
+        b = Value(0x01, 8, signed=True)
+        assert a.add(b).to_int() == 0
+
+
+class TestBitwise:
+    def test_and(self):
+        assert val(0b1100).bit_and(val(0b1010)).to_int() == 0b1000
+
+    def test_and_zero_masks_x(self):
+        # 0 & x == 0: the result must be known.
+        result = val(0).bit_and(X(8))
+        assert result.to_int() == 0
+        assert not result.has_x
+
+    def test_or_one_masks_x(self):
+        result = Value(0xFF, 8).bit_or(X(8))
+        assert result.to_int() == 0xFF
+        assert not result.has_x
+
+    def test_xor_propagates_x(self):
+        assert val(0xFF).bit_xor(X(8)).is_all_x
+
+    def test_not(self):
+        assert val(0b1010, 4).bit_not().to_int() == 0b0101
+
+
+class TestShifts:
+    def test_shl(self):
+        assert val(1).shl(val(3)).to_int() == 8
+
+    def test_shl_overflow_dropped(self):
+        assert val(0x80).shl(val(1)).to_int() == 0
+
+    def test_shr(self):
+        assert val(8).shr(val(3)).to_int() == 1
+
+    def test_arithmetic_shr_signed(self):
+        v = Value(0x80, 8, signed=True)
+        assert v.shr(val(1), arithmetic=True).to_int() == 0xC0
+
+    def test_x_amount(self):
+        assert val(8).shr(X(3)).is_all_x
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert val(5).eq(val(5)).to_int() == 1
+
+    def test_lt_unsigned(self):
+        assert val(2).lt(val(200)).to_int() == 1
+
+    def test_lt_signed(self):
+        a = Value(0xFF, 8, signed=True)  # -1
+        b = Value(0x01, 8, signed=True)
+        assert a.lt(b).to_int() == 1
+
+    def test_compare_with_x_gives_x(self):
+        assert val(1).eq(X(8)).has_x
+
+    def test_case_eq_matches_x(self):
+        assert X(4).case_eq(X(4)).to_int() == 1
+
+    def test_case_eq_distinguishes_x(self):
+        assert val(0, 4).case_eq(X(4)).to_int() == 0
+
+
+class TestStructural:
+    def test_select_bit(self):
+        assert val(0b0100).select_bit(2).to_int() == 1
+
+    def test_select_bit_out_of_range(self):
+        assert val(1, 4).select_bit(9).has_x
+
+    def test_select_range(self):
+        assert val(0xAB).select_range(7, 4).to_int() == 0xA
+
+    def test_select_range_partially_oob(self):
+        result = val(0xFF).select_range(9, 6)
+        assert result.width == 4
+        assert result.xmask & 0b1100
+
+    def test_concat(self):
+        result = val(0xA, 4).concat(val(0xB, 4))
+        assert result.to_int() == 0xAB
+        assert result.width == 8
+
+    def test_replace_bits(self):
+        result = val(0x00).replace_bits(4, Value(0xF, 4))
+        assert result.to_int() == 0xF0
+
+    def test_resize_truncate(self):
+        assert Value(0x1FF, 9).resize(8).to_int() == 0xFF
+
+    def test_resize_sign_extend(self):
+        v = Value(0x80, 8, signed=True)
+        assert v.resize(16).to_int() == 0xFF80
+
+    def test_resize_zero_extend(self):
+        assert Value(0x80, 8).resize(16).to_int() == 0x0080
+
+
+class TestReductions:
+    def test_reduce_and_all_ones(self):
+        assert Value(0xF, 4).reduce_and().to_int() == 1
+
+    def test_reduce_and_known_zero_beats_x(self):
+        v = Value(0b0000, 4, xmask=0b1000)
+        assert v.reduce_and().to_int() == 0
+
+    def test_reduce_or_known_one_beats_x(self):
+        v = Value(0b0001, 4, xmask=0b1000)
+        assert v.reduce_or().to_int() == 1
+
+    def test_reduce_xor_parity(self):
+        assert Value(0b0111, 4).reduce_xor().to_int() == 1
+        assert Value(0b0011, 4).reduce_xor().to_int() == 0
+
+
+class TestDisplay:
+    def test_hex_display(self):
+        assert Value(0x2D, 8).to_display() == "8'h2d"
+
+    def test_x_display(self):
+        assert "x" in X(4).to_display()
+
+    def test_verilog_bits(self):
+        v = Value(0b10, 2, xmask=0b01)
+        assert v.to_verilog_bits() == "1x"
+
+
+# --------------------------------------------------------------------------
+# Property-based tests
+# --------------------------------------------------------------------------
+
+bits8 = st.integers(min_value=0, max_value=255)
+
+
+@given(bits8, bits8)
+def test_add_matches_python(a, b):
+    assert val(a).add(val(b), width=9).to_int() == a + b
+
+
+@given(bits8, bits8)
+def test_sub_matches_python_mod(a, b):
+    assert val(a).sub(val(b)).to_int() == (a - b) % 256
+
+
+@given(bits8, bits8)
+def test_bitwise_matches_python(a, b):
+    assert val(a).bit_and(val(b)).to_int() == (a & b)
+    assert val(a).bit_or(val(b)).to_int() == (a | b)
+    assert val(a).bit_xor(val(b)).to_int() == (a ^ b)
+
+
+@given(bits8)
+def test_double_not_is_identity(a):
+    assert val(a).bit_not().bit_not().to_int() == a
+
+
+@given(bits8, st.integers(min_value=0, max_value=7))
+def test_select_bit_matches_shift(a, i):
+    assert val(a).select_bit(i).to_int() == (a >> i) & 1
+
+
+@given(bits8, bits8)
+def test_concat_roundtrip(a, b):
+    joined = val(a, 8).concat(val(b, 8))
+    assert joined.select_range(15, 8).to_int() == a
+    assert joined.select_range(7, 0).to_int() == b
+
+
+@given(bits8, st.integers(min_value=1, max_value=16))
+def test_resize_preserves_low_bits(a, width):
+    assert val(a).resize(width).to_int() == a & ((1 << width) - 1)
+
+
+@given(bits8, bits8)
+def test_comparison_consistency(a, b):
+    assert val(a).lt(val(b)).to_int() == (1 if a < b else 0)
+    assert val(a).eq(val(b)).to_int() == (1 if a == b else 0)
+
+
+@given(st.integers(min_value=0, max_value=2**16 - 1))
+def test_reduce_or_iff_nonzero(a):
+    assert Value(a, 16).reduce_or().to_int() == (1 if a else 0)
