@@ -8,6 +8,10 @@ justify design decisions the paper asserts qualitatively:
   (Algorithm 2's threshold).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from benchmarks.conftest import QUICK_ATTEMPTS
 from repro.experiments import ablations
 

@@ -5,6 +5,10 @@ Checks the paper's shape claims on the quick subset:
 - UVLLM's HR-FR gap is (near) zero.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
 from repro.experiments import fig5
 

@@ -5,6 +5,10 @@ Shape claims checked on the quick subset:
 - UVLLM's HR-FR deviation is the smallest of the LLM methods.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
 from repro.experiments import fig6
 

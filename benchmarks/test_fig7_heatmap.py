@@ -7,6 +7,10 @@ Shape claims on the quick subset:
   gradient.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
 from repro.experiments import fig7
 

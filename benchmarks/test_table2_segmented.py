@@ -6,6 +6,10 @@ Shape claims on the quick subset:
 - UVLLM runs faster than MEIC overall (paper: 10.42x).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
 from repro.experiments import table2
 

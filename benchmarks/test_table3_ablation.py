@@ -5,6 +5,10 @@ FR and cheaper in modelled execution time than whole-module
 regeneration (whose decode volume and corruption risk cost it both).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from benchmarks.conftest import QUICK_ATTEMPTS, QUICK_MODULES
 from repro.experiments import table3
 

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI smoke gate for the campaign runner.
+
+Runs a small (instances x methods) campaign through the parallel
+runner and fails loudly if the sweep silently produced empty or
+degenerate results — the failure mode a green-but-meaningless CI run
+would otherwise hide:
+
+- the grid must be non-empty;
+- UVLLM must post non-zero HR *and* FR (a reproduction where the
+  headline method fixes nothing is broken, whatever pytest says);
+- a second, warm-cache pass must resolve entirely from disk and
+  return records identical to the cold pass.
+
+Usage: python scripts/ci_smoke.py [--jobs N] [--cache-dir DIR]
+"""
+
+import argparse
+import sys
+import tempfile
+
+from repro.errgen.generator import generate_dataset
+from repro.experiments.runner import group_records, rates
+from repro.runner import ResultCache, expand_grid
+from repro.runner.scheduler import CampaignRunner
+
+MODULES = ["adder_8bit", "counter_12", "edge_detect"]
+METHODS = ("uvllm", "meic")
+ATTEMPTS = 2
+
+
+def fail(message):
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--cache-dir", default=None,
+                        help="reused for the dataset cache only; unit "
+                             "results always go to a fresh directory so "
+                             "the cold pass genuinely executes")
+    args = parser.parse_args()
+    dataset_cache_dir = args.cache_dir or tempfile.mkdtemp(
+        prefix="ci-smoke-data-"
+    )
+    # The unit-result cache must start empty: a preceding
+    # run_experiments step sharing --cache-dir would otherwise have
+    # pre-cached every unit, turning the cold/warm comparison into two
+    # cache reads that can't catch a parallel-vs-serial divergence.
+    unit_cache_dir = tempfile.mkdtemp(prefix="ci-smoke-units-")
+
+    instances = generate_dataset(
+        seed=0, per_operator=1, target=None, modules=MODULES,
+        cache_dir=dataset_cache_dir,
+    )
+    units = expand_grid(instances, METHODS, attempts=ATTEMPTS)
+    if not units:
+        return fail("campaign grid is empty")
+
+    cold_cache = ResultCache(unit_cache_dir)
+    cold = CampaignRunner(jobs=args.jobs, cache=cold_cache).run(units)
+    if len(cold) != len(units) or any(r is None for r in cold):
+        return fail("campaign dropped work units")
+    if cold_cache.writes != len(units):
+        return fail("cold pass resolved from a pre-warmed cache — "
+                    "nothing was actually executed")
+
+    by_method = group_records(cold, lambda r: r.method)
+    for method in METHODS:
+        n = len(by_method.get(method, []))
+        if n == 0:
+            return fail(f"no records for method '{method}'")
+    hr, fr, _ = rates(by_method["uvllm"])
+    print(f"uvllm over {len(by_method['uvllm'])} instances: "
+          f"HR {hr:.1f}%, FR {fr:.1f}%")
+    if hr <= 0.0:
+        return fail("UVLLM hit rate is zero — repairs never accepted")
+    if fr <= 0.0:
+        return fail("UVLLM fix rate is zero — no repair survives the "
+                    "held-out suite")
+
+    warm_cache = ResultCache(unit_cache_dir)
+    warm = CampaignRunner(jobs=1, cache=warm_cache).run(units)
+    if warm_cache.misses:
+        return fail(f"warm pass missed cache {warm_cache.misses} times")
+    if warm != cold:
+        return fail("warm-cache records differ from cold-run records")
+
+    print(f"smoke ok: {len(units)} units, warm pass fully cached "
+          f"({warm_cache.hits} hits)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,12 @@ Commands:
 - ``bench-list`` — list the registered benchmark designs;
 - ``inject <name>`` — print a mutated (buggy) copy of a benchmark;
 - ``simulate <file.v> --vcd out.vcd`` — elaborate, run the benchmark
-  stimulus, dump a VCD.
+  stimulus, dump a VCD;
+- ``campaign`` — run a (dataset x methods) sweep through the parallel
+  campaign runner: ``--jobs N`` fans units out over worker processes,
+  ``--cache-dir`` memoizes finished units on disk, ``--shard i/n``
+  runs one round-robin partition of the grid (for multi-host sweeps
+  sharing a cache directory).
 """
 
 import argparse
@@ -113,6 +118,83 @@ def _cmd_simulate(args):
     return 0 if result.all_passed else 1
 
 
+def _cmd_campaign(args):
+    import json
+
+    from repro.errgen.generator import generate_dataset
+    from repro.experiments.runner import METHODS, group_records, rates
+    from repro.runner import (
+        expand_grid,
+        parse_shard,
+        run_units,
+        shard_units,
+    )
+    from repro.runner.cache import record_to_dict
+    from repro.runner.scheduler import default_jobs
+
+    methods = (
+        tuple(args.methods.split(",")) if args.methods else METHODS
+    )
+    unknown = [m for m in methods if m not in METHODS]
+    if unknown:
+        print(f"unknown methods: {', '.join(unknown)} "
+              f"(known: {', '.join(METHODS)})", file=sys.stderr)
+        return 2
+    modules = args.modules.split(",") if args.modules else None
+    if modules:
+        known = {bench.name for bench in all_modules()}
+        missing = [name for name in modules if name not in known]
+        if missing:
+            print(f"unknown modules: {', '.join(missing)} "
+                  f"(see 'bench-list')", file=sys.stderr)
+            return 2
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    shard = None
+    if args.shard:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+
+    instances = generate_dataset(
+        seed=args.seed, per_operator=args.per_operator, target=None,
+        modules=modules, cache_dir=args.cache_dir,
+    )
+    units = expand_grid(instances, methods, attempts=args.attempts)
+    total = len(units)
+    if not units:
+        print("campaign grid is empty", file=sys.stderr)
+        return 1
+    if shard is not None:
+        units = shard_units(units, *shard)
+        print(f"shard {args.shard}: {len(units)}/{total} units",
+              file=sys.stderr)
+        if not units:
+            # A small grid can legitimately leave a shard empty; the
+            # other shards still cover it, so this host succeeded.
+            print(f"shard {args.shard} has no units (grid has {total}); "
+                  f"nothing to do", file=sys.stderr)
+            return 0
+
+    records = run_units(units, jobs=jobs, cache_dir=args.cache_dir,
+                        show_progress=True)
+
+    print(f"{'method':<14}{'n':>5}{'HR %':>8}{'FR %':>8}{'t (s)':>9}")
+    by_method = group_records(records, lambda r: r.method)
+    for method in methods:
+        subset = by_method.get(method, [])
+        hr, fr, seconds = rates(subset)
+        print(f"{method:<14}{len(subset):>5}{hr:>8.1f}{fr:>8.1f}"
+              f"{seconds:>9.2f}")
+    if args.records:
+        with open(args.records, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record_to_dict(record)) + "\n")
+        print(f"records written to {args.records}", file=sys.stderr)
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="UVLLM reproduction CLI"
@@ -152,6 +234,31 @@ def build_parser():
                           help="DUT file (defaults to the golden source)")
     simulate.add_argument("--vcd", default=None, help="VCD output path")
     simulate.set_defaults(func=_cmd_simulate)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a method sweep through the parallel campaign runner",
+    )
+    campaign.add_argument("--modules", default=None,
+                          help="comma-separated benchmark names "
+                               "(default: all)")
+    campaign.add_argument("--methods", default=None,
+                          help="comma-separated methods (default: all)")
+    campaign.add_argument("--per-operator", type=int, default=1,
+                          help="error instances per mutation operator")
+    campaign.add_argument("--attempts", type=int, default=3,
+                          help="LLM attempts per unit (pass@k)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="dataset generation seed")
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (0 = auto)")
+    campaign.add_argument("--cache-dir", default=None,
+                          help="memoize finished units/datasets here")
+    campaign.add_argument("--shard", default=None, metavar="i/n",
+                          help="run the i-th of n round-robin shards")
+    campaign.add_argument("--records", default=None,
+                          help="write per-unit records as JSONL here")
+    campaign.set_defaults(func=_cmd_campaign)
     return parser
 
 

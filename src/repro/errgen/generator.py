@@ -14,7 +14,7 @@ discarded — this is the paper's answer to MEIC-style datasets where
 
 import hashlib
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional
 
 from repro.bench.registry import all_modules, get_module, make_hr_sequence
@@ -111,29 +111,64 @@ def generate_for_module(bench, operators=None, per_operator=2, seed=0,
 
 
 def generate_dataset(seed=0, per_operator=2, target=DATASET_TARGET_SIZE,
-                     modules=None, operators=None, validate=True):
+                     modules=None, operators=None, validate=True,
+                     cache_dir=None):
     """The full evaluation dataset (approximately ``target`` instances).
 
-    Deterministic for a given seed.  Results are cached per
+    Deterministic for a given seed.  Results are cached in-process per
     (seed, per_operator, target) because validation simulates every
-    functional candidate.
+    functional candidate; ``cache_dir`` additionally persists instances
+    on disk *per module* (keyed by the generation parameters and a hash
+    of that module's golden source, so edited benchmarks invalidate),
+    which lets any module or operator subset reuse the warm entries of
+    a previous, differently-shaped campaign.  Stale or corrupt disk
+    entries degrade to regeneration, never to an error.
     """
     key = (seed, per_operator, target,
            tuple(modules) if modules else None,
-           tuple(op.name for op in operators) if operators else None)
+           tuple(op.name for op in operators) if operators else None,
+           validate)
     if key in _dataset_cache:
         return _dataset_cache[key]
     selected = (
         [get_module(name) for name in modules] if modules else all_modules()
     )
+    disk_cache = None
+    if cache_dir is not None:
+        from repro.runner.cache import DatasetCache
+
+        disk_cache = DatasetCache(cache_dir)
+    operator_names = tuple(
+        op.name for op in (operators if operators is not None
+                           else ALL_OPERATORS)
+    )
     instances = []
     for bench in selected:
-        instances.extend(
-            generate_for_module(
-                bench, operators=operators, per_operator=per_operator,
-                seed=seed, validate=validate,
-            )
+        module_key = None
+        if disk_cache is not None:
+            source_sha = hashlib.sha256(
+                bench.source.encode("utf-8")
+            ).hexdigest()
+            module_key = hashlib.sha256(
+                f"{seed}|{per_operator}|{validate}|{bench.name}|"
+                f"{source_sha}|{operator_names}".encode("utf-8")
+            ).hexdigest()
+            cached = disk_cache.get(module_key)
+            if cached is not None:
+                try:
+                    revived = [ErrorInstance(**data) for data in cached]
+                except TypeError:
+                    revived = None  # stale field shape: regenerate
+                if revived is not None:
+                    instances.extend(revived)
+                    continue
+        generated = generate_for_module(
+            bench, operators=operators, per_operator=per_operator,
+            seed=seed, validate=validate,
         )
+        if disk_cache is not None:
+            disk_cache.put(module_key, [asdict(i) for i in generated])
+        instances.extend(generated)
     if target is not None and len(instances) > target:
         # Deterministic thinning that preserves per-module balance.
         rng = random.Random(seed)

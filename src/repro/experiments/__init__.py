@@ -11,6 +11,7 @@ from repro.experiments.runner import (
     evaluate_fix,
     run_method_on_instance,
     run_methods,
+    run_unit,
     METHODS,
 )
 
@@ -19,5 +20,6 @@ __all__ = [
     "evaluate_fix",
     "run_method_on_instance",
     "run_methods",
+    "run_unit",
     "METHODS",
 ]

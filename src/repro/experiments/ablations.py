@@ -9,83 +9,76 @@ Both are UVLLM-internal switches, so the comparison isolates exactly
 one pipeline decision at a time.
 """
 
-from repro.core.config import UVLLMConfig
-from repro.core.framework import UVLLM
-from repro.bench.registry import get_module
 from repro.errgen.generator import generate_dataset
-from repro.experiments.runner import evaluate_fix
-from repro.llm.mock import MockLLM
+from repro.runner.grid import expand_grid
+from repro.runner.scheduler import run_units
 
 
-def _run_config(instances, config_factory, attempts=2):
-    fixed = hits = 0
-    seconds = 0.0
-    rollbacks = 0
-    for instance in instances:
-        bench = get_module(instance.module_name)
-        outcome = None
-        used = 0
-        for attempt in range(attempts):
-            used += 1
-            framework = UVLLM(MockLLM(seed=attempt), config_factory())
-            outcome = framework.verify_and_repair(
-                instance.buggy_source, bench
-            )
-            if outcome.hit:
-                break
-        hits += 1 if outcome.hit else 0
-        rollbacks += outcome.rollbacks
-        seconds += outcome.seconds
-        if outcome.hit and evaluate_fix(outcome.final_source, bench):
-            fixed += 1
-    n = max(1, len(instances))
+def _run_config(instances, config_overrides, attempts=2, jobs=1,
+                cache_dir=None):
+    """One ablation arm: UVLLM with ``config_overrides`` applied.
+
+    Routed through the campaign runner so each arm parallelizes and
+    memoizes like any other campaign; the overrides are part of every
+    unit's cache key, so arms never alias each other.
+
+    Note one deliberate semantic change from the pre-runner code:
+    ``seconds`` is now the mean modelled time across *all* attempts of
+    an instance (the shared ``InstanceRecord`` convention) where the
+    old loop reported only the final attempt's time.  HR/FR/rollback
+    numbers are unchanged.
+    """
+    units = expand_grid(instances, ("uvllm",), attempts=attempts,
+                        config_overrides=config_overrides)
+    records = run_units(units, jobs=jobs, cache_dir=cache_dir)
+    n = max(1, len(records))
     return {
-        "hr": 100.0 * hits / n,
-        "fr": 100.0 * fixed / n,
-        "seconds": seconds / n,
-        "rollbacks": rollbacks,
-        "n": len(instances),
+        "hr": 100.0 * sum(1 for r in records if r.hit) / n,
+        "fr": 100.0 * sum(1 for r in records if r.fixed) / n,
+        "seconds": sum(r.seconds for r in records) / n,
+        "rollbacks": sum(r.rollbacks for r in records),
+        "n": len(records),
     }
 
 
 def run_rollback_ablation(modules=None, per_operator=1, attempts=2,
-                          seed=0):
+                          seed=0, jobs=1, cache_dir=None):
     """Rollback on vs off, functional errors only (where it matters)."""
     instances = [
         inst for inst in generate_dataset(
             seed=seed, per_operator=per_operator, target=None,
-            modules=modules,
+            modules=modules, cache_dir=cache_dir,
         )
         if inst.kind == "functional"
     ]
     return {
         "with_rollback": _run_config(
-            instances, lambda: UVLLMConfig(enable_rollback=True),
-            attempts,
+            instances, {"enable_rollback": True}, attempts,
+            jobs=jobs, cache_dir=cache_dir,
         ),
         "without_rollback": _run_config(
-            instances, lambda: UVLLMConfig(enable_rollback=False),
-            attempts,
+            instances, {"enable_rollback": False}, attempts,
+            jobs=jobs, cache_dir=cache_dir,
         ),
     }
 
 
 def run_ms_threshold_ablation(modules=None, per_operator=1, attempts=2,
-                              seed=0, thresholds=(0, 2, 5)):
+                              seed=0, thresholds=(0, 2, 5), jobs=1,
+                              cache_dir=None):
     """Sweep the MS->SL escalation threshold."""
     instances = [
         inst for inst in generate_dataset(
             seed=seed, per_operator=per_operator, target=None,
-            modules=modules,
+            modules=modules, cache_dir=cache_dir,
         )
         if inst.kind == "functional"
     ]
     results = {}
     for threshold in thresholds:
         results[f"ms_iterations={threshold}"] = _run_config(
-            instances,
-            lambda t=threshold: UVLLMConfig(ms_iterations=t),
-            attempts,
+            instances, {"ms_iterations": threshold}, attempts,
+            jobs=jobs, cache_dir=cache_dir,
         )
     return results
 

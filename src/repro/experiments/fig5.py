@@ -21,16 +21,23 @@ SYNTAX_CLASSES = (
 METHODS = ("uvllm", "meic", "gpt-4-turbo")
 
 
-def run(modules=None, per_operator=1, attempts=3, seed=0):
-    """Execute the Fig. 5 experiment; returns the structured results."""
+def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
+        cache_dir=None):
+    """Execute the Fig. 5 experiment; returns the structured results.
+
+    ``jobs`` / ``cache_dir`` are forwarded to the campaign runner
+    (process-pool fan-out and on-disk memoization).
+    """
     instances = [
         inst for inst in generate_dataset(
             seed=seed, per_operator=per_operator, target=None,
             modules=modules, operators=list(SYNTAX_OPERATORS),
+            cache_dir=cache_dir,
         )
         if inst.kind == "syntax"
     ]
-    records = run_methods(instances, METHODS, attempts=attempts)
+    records = run_methods(instances, METHODS, attempts=attempts,
+                          jobs=jobs, cache_dir=cache_dir)
     by_method = group_records(records, lambda r: r.method)
     results = {"classes": {}, "average": {}, "instance_count": len(instances)}
     for cls in SYNTAX_CLASSES:

@@ -34,11 +34,13 @@ def _axis_class(record):
     return _CLASS_MAP.get(record.paper_class, record.paper_class)
 
 
-def run(modules=None, per_operator=1, attempts=3, seed=0):
+def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
+        cache_dir=None):
     instances = [
         inst for inst in generate_dataset(
             seed=seed, per_operator=per_operator, target=None,
             modules=modules, operators=list(FUNCTIONAL_OPERATORS),
+            cache_dir=cache_dir,
         )
         if inst.kind == "functional"
     ]
@@ -47,7 +49,8 @@ def run(modules=None, per_operator=1, attempts=3, seed=0):
     for index, inst in enumerate(instances):
         if inst.paper_class == "incorrect_bitwidth" and index % 2 == 0:
             inst.paper_class = "declaration_errors"
-    records = run_methods(instances, METHODS, attempts=attempts)
+    records = run_methods(instances, METHODS, attempts=attempts,
+                          jobs=jobs, cache_dir=cache_dir)
     by_method = group_records(records, lambda r: r.method)
     results = {"classes": {}, "average": {}, "instance_count": len(instances)}
     for cls in FUNCTIONAL_CLASSES:

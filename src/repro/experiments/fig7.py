@@ -7,33 +7,47 @@ weighted syntax and function means.  Expected shape: counters near
 """
 
 from repro.bench.registry import all_modules
-from repro.errgen.generator import generate_for_module
-from repro.experiments.runner import run_method_on_instance
+from repro.errgen.generator import generate_dataset
+from repro.experiments.runner import group_records, run_methods
 
 
-def run(modules=None, per_operator=1, attempts=3, seed=0):
-    """Returns {module: {"syntax": FR or None, "function": FR or None}}."""
+def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
+        cache_dir=None):
+    """Returns {module: {"syntax": FR or None, "function": FR or None}}.
+
+    All 27 modules' instances form one campaign grid, so the whole
+    heat map parallelizes across ``jobs`` worker processes instead of
+    iterating module-by-module.
+    """
     selected = all_modules()
     if modules is not None:
         selected = [b for b in selected if b.name in modules]
+    # Pass the caller's ``modules`` through verbatim so this call hits
+    # the same dataset cache entry (in-process and on disk) the rest
+    # of the sweep populates, instead of regenerating under a
+    # registry-ordered name list that keys differently.
+    instances = generate_dataset(
+        seed=seed, per_operator=per_operator, target=None,
+        modules=modules, cache_dir=cache_dir,
+    )
+    names = {b.name for b in selected}
+    instances = [i for i in instances if i.module_name in names]
+    records = run_methods(instances, ("uvllm",), attempts=attempts,
+                          jobs=jobs, cache_dir=cache_dir)
+    by_module = group_records(records, lambda r: r.module_name)
     heatmap = {}
     for bench in selected:
-        instances = generate_for_module(
-            bench, per_operator=per_operator, seed=seed
-        )
         cells = {"syntax": None, "function": None}
         for kind_key, kind in (("syntax", "syntax"),
                                ("function", "functional")):
-            subset = [i for i in instances if i.kind == kind]
+            subset = [
+                r for r in by_module.get(bench.name, []) if r.kind == kind
+            ]
             if not subset:
                 continue  # the paper's "x": error not imposable here
-            fixed = 0
-            for instance in subset:
-                record = run_method_on_instance(
-                    "uvllm", instance, attempts=attempts
-                )
-                fixed += 1 if record.fixed else 0
-            cells[kind_key] = fixed / len(subset)
+            cells[kind_key] = (
+                sum(1 for r in subset if r.fixed) / len(subset)
+            )
         heatmap[bench.name] = {
             "category": bench.category,
             "type": bench.type_tag,

@@ -11,9 +11,18 @@ Semantics follow the paper's setup:
   extended held-out suite (``make_fr_sequence``) — the mechanized
   expert review;
 - execution time is the mean modelled seconds per attempt.
+
+Execution routing: ``run_methods`` expands the (instances x methods)
+grid with :func:`repro.runner.expand_grid` and hands it to
+:func:`repro.runner.run_units`, which supplies process-pool
+parallelism (``jobs``) and on-disk memoization (``cache_dir``).  The
+primitive a pool worker runs is :func:`run_unit` /
+:func:`run_method_on_instance`; both are deliberately free of shared
+mutable module state so that a worker process computes exactly what
+the serial loop would.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from repro.baselines.direct import DirectLLM
@@ -25,13 +34,13 @@ from repro.core.config import UVLLMConfig
 from repro.core.framework import UVLLM
 from repro.lint.linter import Linter
 from repro.llm.mock import MockLLM
+from repro.runner.grid import expand_grid
+from repro.runner.scheduler import run_units
 from repro.uvm.test import run_uvm_test
 
 #: Methods evaluated in the paper's figures.
 METHODS = ("uvllm", "uvllm_comp", "meic", "gpt-4-turbo", "strider",
            "rtlrepair")
-
-_linter = Linter()
 
 
 @dataclass
@@ -50,12 +59,18 @@ class InstanceRecord:
     stage: Optional[str] = None
     stage_seconds: dict = field(default_factory=dict)
     attempts_used: int = 0
+    rollbacks: int = 0
 
 
 def evaluate_fix(final_source, bench, seed=1000):
     """External (expert-equivalent) validation of a repair — the FR
-    oracle: lint-clean of errors plus full pass on the held-out suite."""
-    if _linter.lint(final_source).errors:
+    oracle: lint-clean of errors plus full pass on the held-out suite.
+
+    The linter is constructed per call rather than held in a module
+    singleton: pool workers must not share mutable state, and
+    ``Linter()`` is a cheap, stateless rule-list assembly.
+    """
+    if Linter().lint(final_source).errors:
         return False
     result = run_uvm_test(
         final_source, make_fr_sequence(bench, seed=seed), bench.protocol,
@@ -64,12 +79,26 @@ def evaluate_fix(final_source, bench, seed=1000):
     return result.all_passed
 
 
-def _make_method(method, seed):
+def _make_method(method, seed, config_overrides=None):
+    """Instantiate a repair engine for one attempt.
+
+    ``config_overrides`` (a mapping of :class:`UVLLMConfig` field
+    overrides) parameterizes the UVLLM variants for ablations; the
+    baseline engines have no config, so overrides there are an error
+    rather than a silent no-op.
+    """
+    overrides = dict(config_overrides or {})
     llm = MockLLM(seed=seed)
     if method == "uvllm":
-        return UVLLM(llm, UVLLMConfig(patch_form="pair", hr_seed=0))
+        config = UVLLMConfig(patch_form="pair", hr_seed=0)
+        return UVLLM(llm, replace(config, **overrides))
     if method == "uvllm_comp":
-        return UVLLM(llm, UVLLMConfig(patch_form="complete", hr_seed=0))
+        config = UVLLMConfig(patch_form="complete", hr_seed=0)
+        return UVLLM(llm, replace(config, **overrides))
+    if overrides:
+        raise ValueError(
+            f"method '{method}' takes no config overrides"
+        )
     if method == "meic":
         return MEIC(llm)
     if method == "gpt-4-turbo":
@@ -81,8 +110,14 @@ def _make_method(method, seed):
     raise ValueError(f"unknown method '{method}'")
 
 
-def run_method_on_instance(method, instance, attempts=3):
-    """Run one method on one error instance (pass@``attempts``)."""
+def run_method_on_instance(method, instance, attempts=3, base_seed=0,
+                           config_overrides=None):
+    """Run one method on one error instance (pass@``attempts``).
+
+    Attempt ``k`` uses LLM seed ``base_seed + k``, making the outcome a
+    pure function of the arguments — the determinism contract the
+    parallel scheduler and the result cache both rely on.
+    """
     bench = get_module(instance.module_name)
     record = InstanceRecord(
         instance_id=instance.instance_id,
@@ -95,7 +130,8 @@ def run_method_on_instance(method, instance, attempts=3):
     total_seconds = 0.0
     outcome = None
     for attempt in range(attempts):
-        engine = _make_method(method, seed=attempt)
+        engine = _make_method(method, seed=base_seed + attempt,
+                              config_overrides=config_overrides)
         if method.startswith("uvllm"):
             outcome = engine.verify_and_repair(instance.buggy_source, bench)
         else:
@@ -110,22 +146,36 @@ def run_method_on_instance(method, instance, attempts=3):
     record.seconds = total_seconds / max(1, record.attempts_used)
     record.stage = getattr(outcome, "stage", None)
     record.stage_seconds = dict(getattr(outcome, "stage_seconds", {}) or {})
+    record.rollbacks = int(getattr(outcome, "rollbacks", 0) or 0)
     if record.hit and outcome is not None:
         record.fixed = evaluate_fix(outcome.final_source, bench)
     return record
 
 
-def run_methods(instances, methods, attempts=3, progress=None):
-    """Run several methods over a dataset; returns a list of records."""
-    records = []
-    for index, instance in enumerate(instances):
-        for method in methods:
-            records.append(
-                run_method_on_instance(method, instance, attempts=attempts)
-            )
-        if progress is not None:
-            progress(index + 1, len(instances))
-    return records
+def run_unit(unit):
+    """Execute one :class:`repro.runner.WorkUnit` — the pool-worker
+    primitive the campaign scheduler dispatches."""
+    return run_method_on_instance(
+        unit.method,
+        unit.instance,
+        attempts=unit.attempts,
+        base_seed=unit.base_seed,
+        config_overrides=dict(unit.config_overrides),
+    )
+
+
+def run_methods(instances, methods, attempts=3, progress=None, jobs=1,
+                cache_dir=None, show_progress=False):
+    """Run several methods over a dataset; returns a list of records.
+
+    Record order is instance-major, method-minor regardless of
+    ``jobs``.  ``progress`` (if given) is called as
+    ``progress(done_units, total_units)`` after each resolved unit;
+    ``cache_dir`` memoizes finished records on disk.
+    """
+    units = expand_grid(instances, methods, attempts=attempts)
+    return run_units(units, jobs=jobs, cache_dir=cache_dir,
+                     progress=progress, show_progress=show_progress)
 
 
 def group_records(records, key):

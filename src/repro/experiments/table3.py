@@ -11,12 +11,15 @@ from repro.errgen.generator import generate_dataset
 from repro.experiments.runner import run_methods
 
 
-def run(modules=None, per_operator=1, attempts=3, seed=0):
+def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
+        cache_dir=None):
     instances = generate_dataset(
-        seed=seed, per_operator=per_operator, target=None, modules=modules
+        seed=seed, per_operator=per_operator, target=None, modules=modules,
+        cache_dir=cache_dir,
     )
     records = run_methods(
-        instances, ("uvllm", "uvllm_comp"), attempts=attempts
+        instances, ("uvllm", "uvllm_comp"), attempts=attempts,
+        jobs=jobs, cache_dir=cache_dir,
     )
     results = {}
     for method, label in (("uvllm", "pair"), ("uvllm_comp", "complete")):

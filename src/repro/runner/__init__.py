@@ -1,0 +1,57 @@
+"""Parallel campaign runner with on-disk memoization.
+
+The experiment grid — (error instance x method x attempt budget) — is
+embarrassingly parallel: every cell is independently seeded and shares
+no mutable state.  This package turns that grid into a schedulable
+pool of work units:
+
+- :mod:`repro.runner.grid` — expand a dataset/method spec into
+  :class:`WorkUnit`\\ s; shard them round-robin for multi-host runs;
+- :mod:`repro.runner.scheduler` — execute units serially or across a
+  ``ProcessPoolExecutor``, bit-identical either way;
+- :mod:`repro.runner.cache` — content-hash-keyed JSON store so
+  interrupted or repeated campaigns resume instantly;
+- :mod:`repro.runner.report` — throttled progress/ETA lines on stderr.
+
+Entry points: ``expand_grid`` + ``run_units`` for programmatic use,
+``python -m repro.cli campaign`` for the command line.
+"""
+
+from repro.runner.cache import (
+    DatasetCache,
+    ResultCache,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.runner.grid import (
+    CACHE_SCHEMA_VERSION,
+    WorkUnit,
+    expand_grid,
+    parse_shard,
+    shard_units,
+)
+from repro.runner.report import ProgressReporter, format_progress
+from repro.runner.scheduler import (
+    CampaignRunner,
+    default_jobs,
+    execute_unit,
+    run_units,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CampaignRunner",
+    "DatasetCache",
+    "ProgressReporter",
+    "ResultCache",
+    "WorkUnit",
+    "default_jobs",
+    "execute_unit",
+    "expand_grid",
+    "format_progress",
+    "parse_shard",
+    "record_from_dict",
+    "record_to_dict",
+    "run_units",
+    "shard_units",
+]

@@ -1,0 +1,130 @@
+"""On-disk memoization for campaign results and generated datasets.
+
+Layout under a cache directory::
+
+    <cache_dir>/units/<sha256>.json      one finished InstanceRecord
+    <cache_dir>/datasets/<sha256>.json   one validated error dataset
+
+Each unit file is written atomically (temp file + ``os.replace``) by
+whichever process owns the result, so a cache directory can be shared
+by concurrent shards of the same campaign: the worst case is two
+shards computing the same unit and one overwriting the other with an
+identical record.  Corrupt or schema-mismatched files are treated as
+misses and recomputed, never propagated.
+
+Keys hash *data* inputs (sources, method name, seeds, config), not
+the code that interprets them: editing the repair pipeline or the
+mutation operators does NOT invalidate a warm cache.  After a
+behavior-changing code edit, bump
+:data:`repro.runner.grid.CACHE_SCHEMA_VERSION` or point campaigns at
+a fresh ``--cache-dir``.
+"""
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+
+from repro.runner.grid import CACHE_SCHEMA_VERSION
+
+
+def record_to_dict(record):
+    """Serialize an ``InstanceRecord`` for the JSON cache."""
+    return asdict(record)
+
+
+def record_from_dict(data):
+    """Inverse of :func:`record_to_dict`."""
+    from repro.experiments.runner import InstanceRecord
+
+    return InstanceRecord(**data)
+
+
+class ResultCache:
+    """Content-addressed store of finished campaign work units."""
+
+    def __init__(self, cache_dir):
+        self.root = os.fspath(cache_dir)
+        self.unit_dir = os.path.join(self.root, "units")
+        os.makedirs(self.unit_dir, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, key):
+        return os.path.join(self.unit_dir, f"{key}.json")
+
+    def get(self, key):
+        """Return the cached record for ``key`` or ``None`` on a miss."""
+        try:
+            with open(self._path(key)) as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            record = record_from_dict(payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key, record):
+        """Atomically persist ``record`` under ``key``."""
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "record": record_to_dict(record),
+        }
+        _atomic_write_json(self._path(key), payload, self.unit_dir)
+        self.writes += 1
+
+
+class DatasetCache:
+    """Disk cache for validated error datasets.
+
+    Dataset generation simulates every functional candidate through the
+    UVM testbench, which dominates warm-campaign wall time — caching it
+    makes a repeated campaign essentially free.  Keys must fold in the
+    golden sources (see ``generate_dataset``) so edited benchmarks
+    invalidate naturally.
+    """
+
+    def __init__(self, cache_dir):
+        self.dataset_dir = os.path.join(os.fspath(cache_dir), "datasets")
+        os.makedirs(self.dataset_dir, exist_ok=True)
+
+    def _path(self, key):
+        return os.path.join(self.dataset_dir, f"{key}.json")
+
+    def get(self, key):
+        """Return the cached list of instance dicts, or ``None``."""
+        try:
+            with open(self._path(key)) as handle:
+                payload = json.load(handle)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            return payload["instances"]
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key, instance_dicts):
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "instances": list(instance_dicts),
+        }
+        _atomic_write_json(self._path(key), payload, self.dataset_dir)
+
+
+def _atomic_write_json(path, payload, directory):
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

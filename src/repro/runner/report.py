@@ -1,0 +1,69 @@
+"""Progress and ETA streaming for long campaigns.
+
+Campaigns print one status line to stderr at a throttled interval (so
+CI logs stay readable) plus a final summary.  ETA is extrapolated from
+*executed* units only — cache hits resolve in microseconds and would
+otherwise make the estimate wildly optimistic at the start of a
+partially warm campaign.
+"""
+
+import sys
+import time
+
+
+def format_progress(done, total, elapsed, cached=0):
+    """Render one status line; pure function for testability."""
+    percent = 100.0 * done / total if total else 100.0
+    executed = done - cached
+    remaining = total - done
+    if executed > 0 and elapsed > 0 and remaining > 0:
+        eta = remaining * (elapsed / executed)
+        eta_text = f" eta {_duration(eta)}"
+    else:
+        eta_text = ""
+    cached_text = f" ({cached} cached)" if cached else ""
+    return (f"[campaign] {done}/{total} units ({percent:.0f}%)"
+            f"{cached_text} elapsed {_duration(elapsed)}{eta_text}")
+
+
+def _duration(seconds):
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.1f}s"
+
+
+class ProgressReporter:
+    """Throttled stderr progress stream for a campaign run."""
+
+    def __init__(self, total, stream=None, min_interval=1.0, clock=None):
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.clock = clock or time.monotonic
+        self.started = self.clock()
+        self._last_emit = float("-inf")
+        self.done = 0
+        self.cached = 0
+
+    def update(self, done, cached=0):
+        """Advance to ``done`` completed units (``cached`` of them hits)."""
+        self.done, self.cached = done, cached
+        now = self.clock()
+        if now - self._last_emit < self.min_interval and done < self.total:
+            return
+        self._last_emit = now
+        line = format_progress(done, self.total, now - self.started,
+                               cached=cached)
+        print(line, file=self.stream, flush=True)
+
+    def finish(self):
+        elapsed = self.clock() - self.started
+        executed = self.done - self.cached
+        print(
+            f"[campaign] finished {self.done}/{self.total} units in "
+            f"{_duration(elapsed)} ({executed} executed, "
+            f"{self.cached} from cache)",
+            file=self.stream, flush=True,
+        )

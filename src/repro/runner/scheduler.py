@@ -1,0 +1,157 @@
+"""Campaign execution: serial or process-pool, cache-aware.
+
+The scheduler owns no experiment semantics.  A :class:`WorkUnit` is
+executed by ``repro.experiments.runner.run_unit`` (imported lazily so
+the experiments layer can itself depend on this package without an
+import cycle); everything here is generic plumbing: resolve cache
+hits, fan the misses out over a ``ProcessPoolExecutor``, persist each
+finished record from the parent process, and return records in grid
+order.
+
+Because every unit is seeded from its own fields and shares no mutable
+state with its siblings, results are bit-identical whether ``jobs`` is
+1 (plain in-process loop) or N — the only observable difference is
+wall-clock time.
+"""
+
+import concurrent.futures
+import os
+
+from repro.runner.cache import ResultCache
+from repro.runner.report import ProgressReporter
+
+
+def execute_unit(unit):
+    """Run one work unit to completion (top-level: picklable).
+
+    The experiments layer is imported lazily; in a pool worker this
+    happens once per process on the first unit it receives.
+    """
+    from repro.experiments.runner import run_unit
+
+    return run_unit(unit)
+
+
+class CampaignRunner:
+    """Executes a list of work units with caching and parallelism."""
+
+    def __init__(self, jobs=1, cache=None, reporter=None):
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.reporter = reporter
+
+    def run(self, units, progress=None):
+        """Execute ``units``; returns records in the same order.
+
+        ``progress``, if given, is called as ``progress(done, total)``
+        after every resolved unit (cached or executed).
+        """
+        units = list(units)
+        total = len(units)
+        results = [None] * total
+        done = cached = 0
+
+        def advance(is_hit):
+            nonlocal done, cached
+            done += 1
+            cached += 1 if is_hit else 0
+            if self.reporter is not None:
+                self.reporter.update(done, cached=cached)
+            if progress is not None:
+                progress(done, total)
+
+        pending = []
+        for position, unit in enumerate(units):
+            record = (
+                self.cache.get(unit.cache_key())
+                if self.cache is not None else None
+            )
+            if record is not None:
+                _restamp(record, unit.instance)
+                results[position] = record
+                advance(True)
+            else:
+                pending.append(position)
+
+        if pending and self.jobs == 1:
+            for position in pending:
+                results[position] = execute_unit(units[position])
+                self._store(units[position], results[position])
+                advance(False)
+        elif pending:
+            workers = min(self.jobs, len(pending))
+            first_error = None
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                futures = {
+                    pool.submit(execute_unit, units[position]): position
+                    for position in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    position = futures[future]
+                    try:
+                        record = future.result()
+                    except concurrent.futures.CancelledError:
+                        continue
+                    except Exception as exc:
+                        # First failure wins; drop the queued units but
+                        # keep draining so already-running siblings
+                        # still land in the cache instead of being
+                        # recomputed on retry.
+                        if first_error is None:
+                            first_error = exc
+                            pool.shutdown(wait=False, cancel_futures=True)
+                        continue
+                    results[position] = record
+                    self._store(units[position], record)
+                    advance(False)
+            if first_error is not None:
+                raise first_error
+
+        if self.reporter is not None:
+            self.reporter.finish()
+        return results
+
+    def _store(self, unit, record):
+        if self.cache is not None:
+            self.cache.put(unit.cache_key(), record)
+
+
+def _restamp(record, instance):
+    """Overwrite a cached record's grid metadata from the requesting
+    instance.
+
+    The cache key hashes only execution inputs (sources, method,
+    attempts, seeds, config) — labels like ``paper_class`` are
+    bucketing metadata a driver may relabel (fig6 folds half of
+    ``incorrect_bitwidth`` into ``declaration_errors``), so a record
+    cached by one driver must adopt the labels of the grid that is
+    asking, not the one that happened to execute first.
+    """
+    record.instance_id = instance.instance_id
+    record.module_name = instance.module_name
+    record.category = instance.category
+    record.kind = instance.kind
+    record.paper_class = instance.paper_class
+
+
+def run_units(units, jobs=1, cache_dir=None, progress=None,
+              show_progress=False, reporter=None):
+    """Convenience front door used by the experiment drivers.
+
+    ``cache_dir`` of ``None`` disables memoization; ``show_progress``
+    attaches a stderr :class:`ProgressReporter` (explicit ``reporter``
+    wins).
+    """
+    units = list(units)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    if reporter is None and show_progress and units:
+        reporter = ProgressReporter(len(units))
+    runner = CampaignRunner(jobs=jobs, cache=cache, reporter=reporter)
+    return runner.run(units, progress=progress)
+
+
+def default_jobs():
+    """A sensible ``--jobs auto`` value: physical parallelism, capped."""
+    return min(8, os.cpu_count() or 1)
