@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Microbenchmark: interpreter vs compiled simulation backend.
+
+For every registered benchmark module, materializes its HR stimulus
+once, then drives the DUT pin-level (poke inputs, settle, toggle the
+clock) on each backend and reports cycles/second plus the per-module
+and geomean speedup.  Results land in ``BENCH_sim.json`` so the perf
+trajectory has data points CI can archive.
+
+Methodology: this times the *simulator* — stimulus generation happens
+before the clock starts, value-change tracing is disabled (the way
+commercial simulators are benchmarked; run with ``--trace`` to include
+it), and each measurement is best-of-``--repeat`` to shed scheduler
+noise.  Bit-level equivalence between the backends is *not* this
+script's job: the xcheck differential suite
+(``tests/test_backend_equiv.py``) owns that.
+
+Usage: python scripts/bench_sim.py [--out BENCH_sim.json] [--repeat 3]
+                                   [--modules a,b,c] [--trace] [--quick]
+"""
+
+import argparse
+import json
+import math
+import sys
+import time
+
+from repro.bench.registry import all_modules, make_hr_sequence
+from repro.sim.backend import make_simulator
+
+BACKENDS = ("interp", "compiled")
+
+
+def materialize(bench):
+    """Flatten the HR sequence into plain pin vectors (pre-stimulus)."""
+    vectors = []
+    for txn in make_hr_sequence(bench).items():
+        vectors.append((dict(txn.fields), txn.hold_cycles, dict(txn.meta)))
+    return vectors
+
+
+def drive(bench, backend, vectors, trace):
+    """One timed run; returns (elapsed_seconds, cycles_driven)."""
+    protocol = bench.protocol
+    simulator = make_simulator(
+        bench.source, backend=backend, top=bench.top, trace=trace
+    )
+    started = time.perf_counter()
+    if protocol.reset is not None:
+        for name, value in protocol.default_inputs.items():
+            simulator.poke(name, value)
+        if protocol.is_clocked:
+            simulator.poke(protocol.clock, 0)
+        simulator.set(protocol.reset, protocol.reset_assert_value())
+        if protocol.is_clocked:
+            simulator.tick(protocol.clock, cycles=2)
+        simulator.set(protocol.reset, protocol.reset_release_value())
+    cycles = 0
+    for fields, hold_cycles, meta in vectors:
+        if protocol.reset is not None:
+            asserted = bool(meta.get("reset") or meta.get("reset_glitch"))
+            simulator.poke(
+                protocol.reset,
+                protocol.reset_assert_value() if asserted
+                else protocol.reset_release_value(),
+            )
+        for name, value in fields.items():
+            simulator.poke(name, value)
+        simulator.settle()
+        if protocol.is_clocked:
+            simulator.tick(protocol.clock, cycles=hold_cycles)
+            cycles += hold_cycles
+        else:
+            simulator.step_time(10)
+            cycles += 1
+        if meta.get("reset_glitch") and protocol.reset is not None:
+            simulator.set(protocol.reset, protocol.reset_release_value())
+    return time.perf_counter() - started, cycles
+
+
+def bench_module(bench, repeat, trace):
+    vectors = materialize(bench)
+    row = {"category": bench.category, "type": bench.type_tag}
+    for backend in BACKENDS:
+        best = None
+        cycles = 0
+        for _ in range(repeat):
+            elapsed, cycles = drive(bench, backend, vectors, trace)
+            best = elapsed if best is None else min(best, elapsed)
+        row["cycles"] = cycles
+        row[f"{backend}_seconds"] = best
+        row[f"{backend}_cps"] = cycles / best if best > 0 else 0.0
+    row["speedup"] = (
+        row["interp_seconds"] / row["compiled_seconds"]
+        if row["compiled_seconds"] > 0 else 0.0
+    )
+    return row
+
+
+def geomean(values):
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--out", default="BENCH_sim.json")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timed runs per module/backend (best-of)")
+    parser.add_argument("--modules", default=None,
+                        help="comma-separated subset (default: all 27)")
+    parser.add_argument("--trace", action="store_true",
+                        help="keep value-change tracing on while timing")
+    parser.add_argument("--quick", action="store_true",
+                        help="one category representative each, repeat=2")
+    args = parser.parse_args()
+
+    benches = all_modules()
+    if args.modules:
+        wanted = set(args.modules.split(","))
+        unknown = wanted - {b.name for b in benches}
+        if unknown:
+            print(f"unknown modules: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        benches = [b for b in benches if b.name in wanted]
+    elif args.quick:
+        seen = set()
+        picked = []
+        for bench in benches:
+            if bench.category not in seen:
+                seen.add(bench.category)
+                picked.append(bench)
+        benches = picked
+        args.repeat = min(args.repeat, 2)
+
+    modules = {}
+    print(f"{'module':<18}{'cycles':>8}{'interp c/s':>12}"
+          f"{'compiled c/s':>14}{'speedup':>9}")
+    for bench in benches:
+        row = bench_module(bench, max(1, args.repeat), args.trace)
+        modules[bench.name] = row
+        print(f"{bench.name:<18}{row['cycles']:>8}"
+              f"{row['interp_cps']:>12.0f}{row['compiled_cps']:>14.0f}"
+              f"{row['speedup']:>8.2f}x", flush=True)
+
+    summary = {
+        "trace": bool(args.trace),
+        "repeat": args.repeat,
+        "module_count": len(modules),
+        "geomean_speedup": geomean([m["speedup"] for m in modules.values()]),
+        "total_interp_seconds": sum(
+            m["interp_seconds"] for m in modules.values()
+        ),
+        "total_compiled_seconds": sum(
+            m["compiled_seconds"] for m in modules.values()
+        ),
+        "modules": modules,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    print(f"\ngeomean speedup: {summary['geomean_speedup']:.2f}x "
+          f"over {len(modules)} modules; wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

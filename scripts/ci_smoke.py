@@ -10,9 +10,16 @@ would otherwise hide:
 - UVLLM must post non-zero HR *and* FR (a reproduction where the
   headline method fixes nothing is broken, whatever pytest says);
 - a second, warm-cache pass must resolve entirely from disk and
-  return records identical to the cold pass.
+  return records identical to the cold pass;
+- the same campaign re-run on the *other* simulation backend must
+  post an identical HR/FR rate table — the compiled backend is only
+  allowed to change wall-clock time, never verification verdicts
+  (modelled seconds may shift: the levelized scheduler evaluates
+  glitch cones fewer times, so event counts differ).
 
 Usage: python scripts/ci_smoke.py [--jobs N] [--cache-dir DIR]
+                                  [--backend interp|compiled|xcheck]
+                                  [--skip-backend-diff]
 """
 
 import argparse
@@ -34,6 +41,18 @@ def fail(message):
     return 1
 
 
+def rate_table(records, methods=METHODS):
+    """HR/FR per method — the backend-invariant slice of the results
+    (modelled seconds are excluded: they track event counts, which are
+    scheduler-dependent)."""
+    by_method = group_records(records, lambda r: r.method)
+    table = {}
+    for method in methods:
+        hr, fr, _ = rates(by_method.get(method, []))
+        table[method] = (round(hr, 6), round(fr, 6))
+    return table
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--jobs", type=int, default=2)
@@ -41,7 +60,19 @@ def main():
                         help="reused for the dataset cache only; unit "
                              "results always go to a fresh directory so "
                              "the cold pass genuinely executes")
+    parser.add_argument("--backend", default=None,
+                        choices=("interp", "compiled", "xcheck"),
+                        help="simulation backend for the main smoke "
+                             "campaign (default: interp, or "
+                             "REPRO_SIM_BACKEND)")
+    parser.add_argument("--skip-backend-diff", action="store_true",
+                        help="skip the interp-vs-compiled rate-table "
+                             "comparison")
     args = parser.parse_args()
+    if args.backend is None:
+        from repro.sim.backend import get_default_backend
+
+        args.backend = get_default_backend()
     dataset_cache_dir = args.cache_dir or tempfile.mkdtemp(
         prefix="ci-smoke-data-"
     )
@@ -55,7 +86,8 @@ def main():
         seed=0, per_operator=1, target=None, modules=MODULES,
         cache_dir=dataset_cache_dir,
     )
-    units = expand_grid(instances, METHODS, attempts=ATTEMPTS)
+    units = expand_grid(instances, METHODS, attempts=ATTEMPTS,
+                        backend=args.backend)
     if not units:
         return fail("campaign grid is empty")
 
@@ -87,6 +119,27 @@ def main():
         return fail(f"warm pass missed cache {warm_cache.misses} times")
     if warm != cold:
         return fail("warm-cache records differ from cold-run records")
+
+    if not args.skip_backend_diff:
+        # Re-run the identical grid on the other backend (fresh unit
+        # cache: backend-keyed entries would all miss anyway) and
+        # demand an identical HR/FR table.
+        other = "compiled" if args.backend != "compiled" else "interp"
+        other_units = expand_grid(instances, METHODS, attempts=ATTEMPTS,
+                                  backend=other)
+        other_cache = ResultCache(tempfile.mkdtemp(prefix="ci-smoke-alt-"))
+        other_records = CampaignRunner(
+            jobs=args.jobs, cache=other_cache
+        ).run(other_units)
+        main_table = rate_table(cold)
+        other_table = rate_table(other_records)
+        if main_table != other_table:
+            return fail(
+                f"HR/FR rate tables diverge between backends: "
+                f"{args.backend}={main_table} vs {other}={other_table}"
+            )
+        print(f"backend parity ok: {args.backend} and {other} post "
+              f"identical HR/FR over {len(units)} units")
 
     print(f"smoke ok: {len(units)} units, warm pass fully cached "
           f"({warm_cache.hits} hits)")

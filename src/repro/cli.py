@@ -106,7 +106,7 @@ def _cmd_simulate(args):
         source = bench.source
     result = run_uvm_test(
         source, make_hr_sequence(bench), bench.protocol, bench.model(),
-        bench.compare_signals, top=bench.top,
+        bench.compare_signals, top=bench.top, backend=args.backend,
     )
     print(f"ok={result.ok} pass_rate={result.pass_rate:.2%} "
           f"checked={result.checked} coverage={result.coverage:.2%}")
@@ -161,7 +161,8 @@ def _cmd_campaign(args):
         seed=args.seed, per_operator=args.per_operator, target=None,
         modules=modules, cache_dir=args.cache_dir,
     )
-    units = expand_grid(instances, methods, attempts=args.attempts)
+    units = expand_grid(instances, methods, attempts=args.attempts,
+                        backend=args.backend)
     total = len(units)
     if not units:
         print("campaign grid is empty", file=sys.stderr)
@@ -233,6 +234,10 @@ def build_parser():
     simulate.add_argument("--file", default=None,
                           help="DUT file (defaults to the golden source)")
     simulate.add_argument("--vcd", default=None, help="VCD output path")
+    simulate.add_argument("--backend", default=None,
+                          choices=("interp", "compiled", "xcheck"),
+                          help="simulation backend (default: interp, or "
+                               "REPRO_SIM_BACKEND)")
     simulate.set_defaults(func=_cmd_simulate)
 
     campaign = sub.add_parser(
@@ -256,6 +261,11 @@ def build_parser():
                           help="memoize finished units/datasets here")
     campaign.add_argument("--shard", default=None, metavar="i/n",
                           help="run the i-th of n round-robin shards")
+    campaign.add_argument("--backend", default=None,
+                          choices=("interp", "compiled", "xcheck"),
+                          help="simulation backend for every UVM run "
+                               "(default: interp, or REPRO_SIM_BACKEND); "
+                               "cache records are keyed per backend")
     campaign.add_argument("--records", default=None,
                           help="write per-unit records as JSONL here")
     campaign.set_defaults(func=_cmd_campaign)

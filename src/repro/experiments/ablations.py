@@ -15,7 +15,7 @@ from repro.runner.scheduler import run_units
 
 
 def _run_config(instances, config_overrides, attempts=2, jobs=1,
-                cache_dir=None):
+                cache_dir=None, backend=None):
     """One ablation arm: UVLLM with ``config_overrides`` applied.
 
     Routed through the campaign runner so each arm parallelizes and
@@ -29,7 +29,7 @@ def _run_config(instances, config_overrides, attempts=2, jobs=1,
     numbers are unchanged.
     """
     units = expand_grid(instances, ("uvllm",), attempts=attempts,
-                        config_overrides=config_overrides)
+                        config_overrides=config_overrides, backend=backend)
     records = run_units(units, jobs=jobs, cache_dir=cache_dir)
     n = max(1, len(records))
     return {
@@ -42,7 +42,7 @@ def _run_config(instances, config_overrides, attempts=2, jobs=1,
 
 
 def run_rollback_ablation(modules=None, per_operator=1, attempts=2,
-                          seed=0, jobs=1, cache_dir=None):
+                          seed=0, jobs=1, cache_dir=None, backend=None):
     """Rollback on vs off, functional errors only (where it matters)."""
     instances = [
         inst for inst in generate_dataset(
@@ -54,18 +54,18 @@ def run_rollback_ablation(modules=None, per_operator=1, attempts=2,
     return {
         "with_rollback": _run_config(
             instances, {"enable_rollback": True}, attempts,
-            jobs=jobs, cache_dir=cache_dir,
+            jobs=jobs, cache_dir=cache_dir, backend=backend,
         ),
         "without_rollback": _run_config(
             instances, {"enable_rollback": False}, attempts,
-            jobs=jobs, cache_dir=cache_dir,
+            jobs=jobs, cache_dir=cache_dir, backend=backend,
         ),
     }
 
 
 def run_ms_threshold_ablation(modules=None, per_operator=1, attempts=2,
                               seed=0, thresholds=(0, 2, 5), jobs=1,
-                              cache_dir=None):
+                              cache_dir=None, backend=None):
     """Sweep the MS->SL escalation threshold."""
     instances = [
         inst for inst in generate_dataset(
@@ -78,7 +78,7 @@ def run_ms_threshold_ablation(modules=None, per_operator=1, attempts=2,
     for threshold in thresholds:
         results[f"ms_iterations={threshold}"] = _run_config(
             instances, {"ms_iterations": threshold}, attempts,
-            jobs=jobs, cache_dir=cache_dir,
+            jobs=jobs, cache_dir=cache_dir, backend=backend,
         )
     return results
 

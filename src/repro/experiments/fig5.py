@@ -22,7 +22,7 @@ METHODS = ("uvllm", "meic", "gpt-4-turbo")
 
 
 def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
-        cache_dir=None):
+        cache_dir=None, backend=None):
     """Execute the Fig. 5 experiment; returns the structured results.
 
     ``jobs`` / ``cache_dir`` are forwarded to the campaign runner
@@ -37,7 +37,8 @@ def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
         if inst.kind == "syntax"
     ]
     records = run_methods(instances, METHODS, attempts=attempts,
-                          jobs=jobs, cache_dir=cache_dir)
+                          jobs=jobs, cache_dir=cache_dir,
+                          backend=backend)
     by_method = group_records(records, lambda r: r.method)
     results = {"classes": {}, "average": {}, "instance_count": len(instances)}
     for cls in SYNTAX_CLASSES:

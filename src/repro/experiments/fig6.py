@@ -35,7 +35,7 @@ def _axis_class(record):
 
 
 def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
-        cache_dir=None):
+        cache_dir=None, backend=None):
     instances = [
         inst for inst in generate_dataset(
             seed=seed, per_operator=per_operator, target=None,
@@ -50,7 +50,8 @@ def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
         if inst.paper_class == "incorrect_bitwidth" and index % 2 == 0:
             inst.paper_class = "declaration_errors"
     records = run_methods(instances, METHODS, attempts=attempts,
-                          jobs=jobs, cache_dir=cache_dir)
+                          jobs=jobs, cache_dir=cache_dir,
+                          backend=backend)
     by_method = group_records(records, lambda r: r.method)
     results = {"classes": {}, "average": {}, "instance_count": len(instances)}
     for cls in FUNCTIONAL_CLASSES:

@@ -12,7 +12,7 @@ from repro.experiments.runner import group_records, run_methods
 
 
 def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
-        cache_dir=None):
+        cache_dir=None, backend=None):
     """Returns {module: {"syntax": FR or None, "function": FR or None}}.
 
     All 27 modules' instances form one campaign grid, so the whole
@@ -33,7 +33,8 @@ def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
     names = {b.name for b in selected}
     instances = [i for i in instances if i.module_name in names]
     records = run_methods(instances, ("uvllm",), attempts=attempts,
-                          jobs=jobs, cache_dir=cache_dir)
+                          jobs=jobs, cache_dir=cache_dir,
+                          backend=backend)
     by_module = group_records(records, lambda r: r.module_name)
     heatmap = {}
     for bench in selected:

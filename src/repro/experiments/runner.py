@@ -36,6 +36,7 @@ from repro.lint.linter import Linter
 from repro.llm.mock import MockLLM
 from repro.runner.grid import expand_grid
 from repro.runner.scheduler import run_units
+from repro.sim.backend import get_default_backend, use_backend
 from repro.uvm.test import run_uvm_test
 
 #: Methods evaluated in the paper's figures.
@@ -111,13 +112,19 @@ def _make_method(method, seed, config_overrides=None):
 
 
 def run_method_on_instance(method, instance, attempts=3, base_seed=0,
-                           config_overrides=None):
+                           config_overrides=None, backend=None):
     """Run one method on one error instance (pass@``attempts``).
 
     Attempt ``k`` uses LLM seed ``base_seed + k``, making the outcome a
     pure function of the arguments — the determinism contract the
     parallel scheduler and the result cache both rely on.
+
+    ``backend`` scopes the simulation backend for every UVM run the
+    repair pipeline performs (repair-loop scoring *and* the FR
+    oracle), including inside pool workers; ``None`` keeps the process
+    default (``REPRO_SIM_BACKEND`` or ``set_default_backend``).
     """
+    backend = backend or get_default_backend()
     bench = get_module(instance.module_name)
     record = InstanceRecord(
         instance_id=instance.instance_id,
@@ -129,26 +136,31 @@ def run_method_on_instance(method, instance, attempts=3, base_seed=0,
     )
     total_seconds = 0.0
     outcome = None
-    for attempt in range(attempts):
-        engine = _make_method(method, seed=base_seed + attempt,
-                              config_overrides=config_overrides)
-        if method.startswith("uvllm"):
-            outcome = engine.verify_and_repair(instance.buggy_source, bench)
-        else:
-            outcome = engine.repair(instance.buggy_source, bench)
-        total_seconds += outcome.seconds
-        record.attempts_used = attempt + 1
-        if outcome.hit:
-            break
-        if method in ("strider", "rtlrepair"):
-            break  # deterministic: retrying cannot change the answer
-    record.hit = bool(outcome and outcome.hit)
-    record.seconds = total_seconds / max(1, record.attempts_used)
-    record.stage = getattr(outcome, "stage", None)
-    record.stage_seconds = dict(getattr(outcome, "stage_seconds", {}) or {})
-    record.rollbacks = int(getattr(outcome, "rollbacks", 0) or 0)
-    if record.hit and outcome is not None:
-        record.fixed = evaluate_fix(outcome.final_source, bench)
+    with use_backend(backend):
+        for attempt in range(attempts):
+            engine = _make_method(method, seed=base_seed + attempt,
+                                  config_overrides=config_overrides)
+            if method.startswith("uvllm"):
+                outcome = engine.verify_and_repair(
+                    instance.buggy_source, bench
+                )
+            else:
+                outcome = engine.repair(instance.buggy_source, bench)
+            total_seconds += outcome.seconds
+            record.attempts_used = attempt + 1
+            if outcome.hit:
+                break
+            if method in ("strider", "rtlrepair"):
+                break  # deterministic: retrying cannot change the answer
+        record.hit = bool(outcome and outcome.hit)
+        record.seconds = total_seconds / max(1, record.attempts_used)
+        record.stage = getattr(outcome, "stage", None)
+        record.stage_seconds = dict(
+            getattr(outcome, "stage_seconds", {}) or {}
+        )
+        record.rollbacks = int(getattr(outcome, "rollbacks", 0) or 0)
+        if record.hit and outcome is not None:
+            record.fixed = evaluate_fix(outcome.final_source, bench)
     return record
 
 
@@ -161,19 +173,22 @@ def run_unit(unit):
         attempts=unit.attempts,
         base_seed=unit.base_seed,
         config_overrides=dict(unit.config_overrides),
+        backend=getattr(unit, "backend", None),
     )
 
 
 def run_methods(instances, methods, attempts=3, progress=None, jobs=1,
-                cache_dir=None, show_progress=False):
+                cache_dir=None, show_progress=False, backend=None):
     """Run several methods over a dataset; returns a list of records.
 
     Record order is instance-major, method-minor regardless of
     ``jobs``.  ``progress`` (if given) is called as
     ``progress(done_units, total_units)`` after each resolved unit;
-    ``cache_dir`` memoizes finished records on disk.
+    ``cache_dir`` memoizes finished records on disk; ``backend``
+    selects the simulation backend for every unit.
     """
-    units = expand_grid(instances, methods, attempts=attempts)
+    units = expand_grid(instances, methods, attempts=attempts,
+                        backend=backend)
     return run_units(units, jobs=jobs, cache_dir=cache_dir,
                      progress=progress, show_progress=show_progress)
 

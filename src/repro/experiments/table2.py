@@ -17,13 +17,14 @@ STAGES = ("preprocess", "ms", "sl")
 
 
 def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
-        cache_dir=None):
+        cache_dir=None, backend=None):
     instances = generate_dataset(
         seed=seed, per_operator=per_operator, target=None, modules=modules,
         cache_dir=cache_dir,
     )
     records = run_methods(instances, ("uvllm", "meic"), attempts=attempts,
-                          jobs=jobs, cache_dir=cache_dir)
+                          jobs=jobs, cache_dir=cache_dir,
+                          backend=backend)
     uvllm = [r for r in records if r.method == "uvllm"]
     meic = [r for r in records if r.method == "meic"]
 

@@ -12,14 +12,14 @@ from repro.experiments.runner import run_methods
 
 
 def run(modules=None, per_operator=1, attempts=3, seed=0, jobs=1,
-        cache_dir=None):
+        cache_dir=None, backend=None):
     instances = generate_dataset(
         seed=seed, per_operator=per_operator, target=None, modules=modules,
         cache_dir=cache_dir,
     )
     records = run_methods(
         instances, ("uvllm", "uvllm_comp"), attempts=attempts,
-        jobs=jobs, cache_dir=cache_dir,
+        jobs=jobs, cache_dir=cache_dir, backend=backend,
     )
     results = {}
     for method, label in (("uvllm", "pair"), ("uvllm_comp", "complete")):

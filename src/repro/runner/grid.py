@@ -23,7 +23,9 @@ from typing import Optional, Tuple
 
 #: Bump when the semantics of unit execution or the record schema
 #: change; old cache entries are then ignored rather than misread.
-CACHE_SCHEMA_VERSION = 1
+#: v2: units carry a simulation backend, and the cache key folds it in
+#: so records produced by different backends never alias.
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -39,6 +41,9 @@ class WorkUnit:
     #: UVLLMConfig — tuples keep the unit hashable-by-content and
     #: picklable for process pools.
     config_overrides: Tuple[Tuple[str, object], ...] = ()
+    #: Simulation backend every UVM run inside this unit uses
+    #: (see :mod:`repro.sim.backend`).
+    backend: str = "interp"
 
     @property
     def unit_id(self):
@@ -48,6 +53,8 @@ class WorkUnit:
             suffix = "::" + ",".join(
                 f"{k}={v}" for k, v in self.config_overrides
             )
+        if self.backend != "interp":
+            suffix += f"::{self.backend}"
         return (f"{self.instance.instance_id}::{self.method}"
                 f"::a{self.attempts}s{self.base_seed}{suffix}")
 
@@ -56,7 +63,9 @@ class WorkUnit:
 
         Hashes the *source text* (not just the instance id) so a
         regenerated dataset with different mutations can never alias a
-        stale cached record.
+        stale cached record, and the simulation backend so campaigns
+        run on different backends keep disjoint cache entries (their
+        modelled seconds may legitimately differ).
         """
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
@@ -68,6 +77,7 @@ class WorkUnit:
             "attempts": self.attempts,
             "base_seed": self.base_seed,
             "config": list(self.config_overrides),
+            "backend": self.backend,
         }
         return _sha(json.dumps(payload, sort_keys=True))
 
@@ -77,13 +87,23 @@ def _sha(text):
 
 
 def expand_grid(instances, methods, attempts=3, base_seed=0,
-                config_overrides=None):
+                config_overrides=None, backend=None):
     """Flatten (instances x methods) into an ordered list of units.
 
     Order is instance-major, method-minor — the same order the legacy
     serial ``run_methods`` loop produced records in, so routing serial
-    execution through the grid is a pure refactor.
+    execution through the grid is a pure refactor.  ``backend`` selects
+    the simulation backend for every unit in the grid; ``None``
+    resolves to the process default (so ``REPRO_SIM_BACKEND`` reaches
+    campaigns whose caller didn't pick explicitly) — resolution happens
+    here, at grid build time, because the backend is part of every
+    unit's cache key and pool workers must see a concrete name.
     """
+    from repro.sim.backend import canonical_backend, get_default_backend
+
+    backend = (
+        canonical_backend(backend) if backend else get_default_backend()
+    )
     overrides = tuple(sorted((config_overrides or {}).items()))
     units = []
     for instance in instances:
@@ -96,6 +116,7 @@ def expand_grid(instances, methods, attempts=3, base_seed=0,
                     attempts=attempts,
                     base_seed=base_seed,
                     config_overrides=overrides,
+                    backend=backend,
                 )
             )
     return units

@@ -10,6 +10,19 @@ localization engine (Algorithm 2) slices over.
 from repro.sim.values import Value, X
 from repro.sim.elaborate import Design, elaborate
 from repro.sim.engine import Simulator, SimulationError
+from repro.sim.backend import (
+    BACKENDS,
+    backend,
+    get_default_backend,
+    make_simulator,
+    set_default_backend,
+    use_backend,
+)
+from repro.sim.compile import (
+    CompiledSimulator,
+    XCheckDivergence,
+    XCheckSimulator,
+)
 
 __all__ = [
     "Value",
@@ -18,4 +31,13 @@ __all__ = [
     "elaborate",
     "Simulator",
     "SimulationError",
+    "BACKENDS",
+    "backend",
+    "get_default_backend",
+    "make_simulator",
+    "set_default_backend",
+    "use_backend",
+    "CompiledSimulator",
+    "XCheckDivergence",
+    "XCheckSimulator",
 ]

@@ -1,0 +1,20 @@
+"""Compiled simulation: levelization + process-body codegen.
+
+See :mod:`repro.sim.compile.engine` for the backend entry point and
+:mod:`repro.sim.backend` for selection (``interp``/``compiled``/
+``xcheck``).
+"""
+
+from repro.sim.compile.codegen import NotCompilable, compile_process
+from repro.sim.compile.engine import CompiledSimulator
+from repro.sim.compile.levelize import levelize
+from repro.sim.compile.xcheck import XCheckDivergence, XCheckSimulator
+
+__all__ = [
+    "CompiledSimulator",
+    "NotCompilable",
+    "XCheckDivergence",
+    "XCheckSimulator",
+    "compile_process",
+    "levelize",
+]

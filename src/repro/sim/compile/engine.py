@@ -1,0 +1,167 @@
+"""The compiled simulation backend.
+
+:class:`CompiledSimulator` is a drop-in :class:`~repro.sim.engine.Simulator`:
+same construction signature, same public API (``set``/``poke``/``get``/
+``settle``/``tick``/``trace_at``), same trace and event-count
+machinery — it inherits all of that.  What changes is *how* processes
+execute and how combinational logic settles:
+
+- every process body is compiled once at construction into a native
+  Python closure (:mod:`repro.sim.compile.codegen`); bodies the
+  compiler cannot prove faithful stay on the inherited interpreter,
+  per process;
+- combinational processes are levelized
+  (:mod:`repro.sim.compile.levelize`); ``settle()`` then runs linear
+  sweeps over the topological order driven by a dirty flag per
+  process, instead of the worklist fixpoint.  On designs with
+  combinational cycles (or unresolvable write targets) the engine
+  falls back to the inherited event-driven scheduler, still running
+  compiled closures.
+
+Correctness contract: settled signal values, x-propagation, traces and
+raised errors are bit-identical to the interpreter.  The *number* of
+intermediate glitch evaluations can differ (levelized sweeps evaluate
+each cone once per wave), so ``event_count`` — which feeds the
+modelled-seconds clock — is scheduler-dependent; HR/FR outcomes are
+backend-invariant.  The ``xcheck`` backend enforces the value contract
+at every settle.
+"""
+
+from repro.sim.compile.codegen import compile_process
+from repro.sim.compile.levelize import levelize
+from repro.sim.elaborate import elaborate
+from repro.sim.engine import SimulationError, Simulator, _MAX_DELTAS
+
+
+class CompiledSimulator(Simulator):
+    """Simulates an elaborated design through compiled closures."""
+
+    backend_name = "compiled"
+
+    def __init__(self, design, trace=True):
+        if isinstance(design, str):
+            design = elaborate(design)
+        # Compile before the base constructor runs time-zero processes,
+        # so initial/comb bodies already execute compiled.
+        self._compiled = {}
+        self.compiled_sources = {}
+        self.fallback_reasons = {}
+        for process in design.processes:
+            closure, source = compile_process(self, process)
+            if closure is not None:
+                self._compiled[id(process)] = closure
+                self.compiled_sources[process] = source
+            else:
+                self.fallback_reasons[process] = source
+        order = levelize(design)
+        self.levelized = order is not None
+        if self.levelized:
+            self._order = order
+            self._level_of = {id(p): i for i, p in enumerate(order)}
+            self._dirty = bytearray(len(order))
+            self._dirty_count = 0
+            # Per-slot closures so the settle sweep skips the dict
+            # lookup and wrapper frame of _run_process.
+            self._order_closures = [
+                self._compiled.get(id(p)) for p in order
+            ]
+        super().__init__(design, trace=trace)
+
+    # -- compile stats -------------------------------------------------------
+
+    @property
+    def compiled_process_count(self):
+        return len(self._compiled)
+
+    @property
+    def interpreted_process_count(self):
+        return len(self.design.processes) - len(self._compiled)
+
+    # -- scheduling overrides ------------------------------------------------
+
+    def _schedule_comb(self, process):
+        if not self.levelized:
+            return super()._schedule_comb(process)
+        if process is self._running:
+            return
+        index = self._level_of[id(process)]
+        if not self._dirty[index]:
+            self._dirty[index] = 1
+            self._dirty_count += 1
+
+    def settle(self):
+        if not self.levelized:
+            return super().settle()
+        if not (self._dirty_count or self._clocked or self._nba):
+            return  # quiescent: skip the local binds below
+        dirty = self._dirty
+        order = self._order
+        closures = self._order_closures
+        count = len(order)
+        deltas = 0
+        while self._dirty_count or self._clocked or self._nba:
+            while self._dirty_count:
+                # One sweep in topological order; writes can only mark
+                # strictly later processes dirty (acyclic), so a single
+                # sweep normally drains the wave.  The outer loop
+                # re-sweeps defensively if anything is left.
+                for index in range(count):
+                    if dirty[index]:
+                        dirty[index] = 0
+                        self._dirty_count -= 1
+                        deltas += 1
+                        if deltas > _MAX_DELTAS:
+                            raise SimulationError(
+                                "design did not settle "
+                                "(combinational loop?)"
+                            )
+                        closure = closures[index]
+                        if closure is None:
+                            self._run_process(order[index])
+                        else:
+                            previous = self._running
+                            self._running = order[index]
+                            try:
+                                closure()
+                            finally:
+                                self._running = previous
+            if self._clocked:
+                clocked, self._clocked = self._clocked, []
+                self._clocked_set.clear()
+                for process in clocked:
+                    self._run_process(process)
+            if not self._dirty_count and self._nba:
+                updates, self._nba = self._nba, []
+                for apply_update in updates:
+                    apply_update()
+
+    def _run_process(self, process):
+        closure = self._compiled.get(id(process))
+        if closure is None:
+            return super()._run_process(process)
+        previous, self._running = self._running, process
+        try:
+            closure()
+        finally:
+            self._running = previous
+
+    # -- compiled store helpers (pre-bound into generated closures) ----------
+
+    def _store_bit(self, signal, index, value):
+        if index is None:
+            return
+        self._write_signal(signal, signal.value.replace_bits(index, value))
+
+    def _store_slice(self, signal, hi, lo, value):
+        if hi is None or lo is None:
+            return
+        self._write_signal(
+            signal,
+            signal.value.replace_bits(
+                min(hi, lo), value.resize(abs(hi - lo) + 1)
+            ),
+        )
+
+    def _mem_write(self, memory, index, value):
+        memory.write(index, value)
+        self._notify_memory_write(memory)

@@ -1,0 +1,123 @@
+"""Levelization: topologically order combinational processes.
+
+The event-driven engine settles combinational logic with a worklist
+fixpoint — every write re-schedules listeners until quiescence, which
+re-evaluates glitchy fan-in cones many times per delta.  When the comb
+process dependency graph is acyclic (true for every synthesizable
+design without combinational loops), a topological order lets
+``settle()`` run one linear sweep instead: each process executes at
+most once per wave, after everything it reads has been produced.
+
+The graph has an edge ``P -> Q`` when ``P`` may write a signal (or
+memory) that ``Q`` is combinationally sensitive to.  Write sets are
+extracted statically from assignment targets; sensitivity comes from
+the elaborated ``comb_listeners`` lists (the exact wake-up paths the
+event engine uses, so levelized execution can never under-trigger).
+Self-edges are excluded: a process never re-triggers from its own
+writes (matching ``@(*)`` event-control semantics in the engine).
+
+If any write target cannot be resolved statically, or the graph is
+cyclic, :func:`levelize` returns ``None`` and the compiled engine
+falls back to event-driven scheduling for the whole comb set — the
+conservative choice that keeps scheduling bit-compatible with the
+interpreter on combinational loops.
+"""
+
+from collections import deque
+
+from repro.hdl import ast
+from repro.sim.elaborate import Signal
+from repro.sim.eval import Memory
+
+
+def _resolve_target_entry(scope, name):
+    """Resolve an assignment-target name the way the executor does."""
+    lookup = getattr(scope, "lookup_target", None)
+    entry = lookup(name) if lookup else scope.lookup(name)
+    if entry is None:
+        if hasattr(scope, "declare_implicit"):
+            entry = scope.declare_implicit(name)
+        else:
+            entry = scope.write_scope.declare_implicit(name)
+    return entry
+
+
+def write_set(process):
+    """Statically enumerate the signals/memories ``process`` may write.
+
+    Returns ``(signals, memories)`` or ``None`` when a target cannot be
+    resolved (the caller must then treat the process as writing
+    anything, i.e. give up on levelization)."""
+    signals, memories = [], []
+    seen = set()
+
+    def note(entry):
+        if id(entry) in seen:
+            return True
+        seen.add(id(entry))
+        if isinstance(entry, Signal):
+            signals.append(entry)
+        elif isinstance(entry, Memory):
+            memories.append(entry)
+        return True
+
+    def collect(target):
+        if isinstance(target, ast.Identifier):
+            return note(_resolve_target_entry(process.scope, target.name))
+        if isinstance(target, (ast.Index, ast.PartSelect)):
+            if isinstance(target.base, ast.Identifier):
+                return note(
+                    _resolve_target_entry(process.scope, target.base.name)
+                )
+            return False
+        if isinstance(target, ast.Concat):
+            return all(collect(part) for part in target.parts)
+        return False
+
+    for stmt in process.body:
+        for node in stmt.walk():
+            if isinstance(node, ast.Assign) and node.target is not None:
+                if not collect(node.target):
+                    return None
+    return signals, memories
+
+
+def levelize(design):
+    """Topological order of the design's comb processes, or ``None``.
+
+    ``None`` means levelization is unsafe (unresolvable write target)
+    or impossible (a combinational cycle); the caller falls back to
+    event-driven scheduling."""
+    comb = [p for p in design.processes if p.kind == "comb"]
+    if not comb:
+        return []
+    index_of = {id(p): i for i, p in enumerate(comb)}
+    successors = [set() for _ in comb]
+    indegree = [0] * len(comb)
+
+    for i, process in enumerate(comb):
+        sets = write_set(process)
+        if sets is None:
+            return None
+        signals, memories = sets
+        for entry in signals + memories:
+            for listener in entry.comb_listeners:
+                j = index_of.get(id(listener))
+                if j is None or j == i:
+                    continue  # seq/initial listener or self-edge
+                if j not in successors[i]:
+                    successors[i].add(j)
+                    indegree[j] += 1
+
+    queue = deque(i for i in range(len(comb)) if indegree[i] == 0)
+    order = []
+    while queue:
+        i = queue.popleft()
+        order.append(comb[i])
+        for j in sorted(successors[i]):
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                queue.append(j)
+    if len(order) != len(comb):
+        return None  # combinational cycle
+    return order

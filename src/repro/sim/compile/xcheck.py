@@ -1,0 +1,153 @@
+"""Lockstep cross-checking backend.
+
+:class:`XCheckSimulator` drives the tree-walking interpreter and the
+compiled backend side by side through the same pin-level API and
+compares *all* architectural state (every signal, every memory word,
+simulation time) after construction and after every settle.  The first
+mismatch raises :class:`XCheckDivergence` naming the signal, the time
+and both values — the deterministic-replay acceptance bar: the
+compiled backend is only correct if it is bit-identical, x-bits
+included.
+
+Reads (``get``/``trace``/``event_count``) are served from the
+interpreter side, so any consumer sees exactly what the reference
+backend would have produced.
+"""
+
+from repro.sim.compile.engine import CompiledSimulator
+from repro.sim.elaborate import elaborate
+from repro.sim.engine import SimulationError, Simulator
+
+
+class XCheckDivergence(SimulationError):
+    """The compiled backend diverged from the interpreter."""
+
+
+class XCheckSimulator:
+    """Runs ``interp`` and ``compiled`` in lockstep; raises on the
+    first divergence.  API-compatible with :class:`Simulator`."""
+
+    backend_name = "xcheck"
+
+    def __init__(self, design, trace=True, top=None):
+        if not isinstance(design, str):
+            raise SimulationError(
+                "the xcheck backend needs Verilog source text (it "
+                "elaborates one design per side); got an elaborated "
+                "object"
+            )
+        self.ref = Simulator(elaborate(design, top=top), trace=trace)
+        self.dut = CompiledSimulator(elaborate(design, top=top), trace=trace)
+        self.compare_count = 0
+        self._compare("construction")
+
+    # -- state mirrored from the reference side ------------------------------
+
+    @property
+    def design(self):
+        return self.ref.design
+
+    @property
+    def time(self):
+        return self.ref.time
+
+    @property
+    def trace(self):
+        return self.ref.trace
+
+    @property
+    def trace_enabled(self):
+        return self.ref.trace_enabled
+
+    @property
+    def event_count(self):
+        return self.ref.event_count
+
+    # -- pin-level API -------------------------------------------------------
+
+    def set(self, name, value):
+        self.ref.set(name, value)
+        self.dut.set(name, value)
+        self._compare(f"set({name!r})")
+
+    def poke(self, name, value):
+        self.ref.poke(name, value)
+        self.dut.poke(name, value)
+
+    def settle(self):
+        self.ref.settle()
+        self.dut.settle()
+        self._compare("settle()")
+
+    def step_time(self, amount=1):
+        self.ref.step_time(amount)
+        self.dut.step_time(amount)
+
+    def tick(self, clock="clk", cycles=1, half_period=5):
+        for _ in range(cycles):
+            self.set(clock, 1)
+            self.step_time(half_period)
+            self.set(clock, 0)
+            self.step_time(half_period)
+
+    def get(self, name):
+        ref_value = self.ref.get(name)
+        dut_value = self.dut.get(name)
+        if ref_value != dut_value or ref_value.xmask != dut_value.xmask:
+            self._diverge(f"get({name!r})", name, ref_value, dut_value)
+        return ref_value
+
+    def get_int(self, name):
+        return self.get(name).to_int()
+
+    def peek_memory(self, name, address):
+        return self.ref.peek_memory(name, address)
+
+    def input_names(self):
+        return self.ref.input_names()
+
+    def output_names(self):
+        return self.ref.output_names()
+
+    def signal_width(self, name):
+        return self.ref.signal_width(name)
+
+    def trace_at(self, name, time):
+        return self.ref.trace_at(name, time)
+
+    # -- comparison ----------------------------------------------------------
+
+    def _compare(self, context):
+        self.compare_count += 1
+        if self.ref.time != self.dut.time:
+            raise XCheckDivergence(
+                f"xcheck: time diverged after {context}: "
+                f"interp={self.ref.time} compiled={self.dut.time}"
+            )
+        dut_signals = self.dut.design.signals
+        for name, ref_signal in self.ref.design.signals.items():
+            dut_signal = dut_signals.get(name)
+            if dut_signal is None:
+                self._diverge(context, name, ref_signal.value, None)
+            a, b = ref_signal.value, dut_signal.value
+            if a != b or a.xmask != b.xmask:
+                self._diverge(context, name, a, b)
+        dut_memories = self.dut.design.memories
+        for name, ref_memory in self.ref.design.memories.items():
+            dut_memory = dut_memories.get(name)
+            if dut_memory is None:
+                self._diverge(context, name, "<memory>", None)
+            for offset, (a, b) in enumerate(
+                zip(ref_memory.words, dut_memory.words)
+            ):
+                if a != b or a.xmask != b.xmask:
+                    self._diverge(
+                        context, f"{name}[{offset + ref_memory.lo}]", a, b
+                    )
+
+    def _diverge(self, context, name, ref_value, dut_value):
+        raise XCheckDivergence(
+            f"xcheck: backends diverged after {context} at "
+            f"t={self.ref.time}: signal '{name}' "
+            f"interp={ref_value!r} compiled={dut_value!r}"
+        )

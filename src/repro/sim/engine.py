@@ -13,6 +13,9 @@ the localization engine slices over — and counts events for the
 deterministic execution-time model.
 """
 
+from bisect import bisect_right
+from operator import itemgetter
+
 from repro.hdl import ast
 from repro.sim.eval import Evaluator, EvalError, Memory
 from repro.sim.elaborate import Design, Signal, elaborate
@@ -53,6 +56,11 @@ class Simulator:
         self._nba = []
         self._running = None
         self._initialized = False
+        # Hot-path memoization (immutable Values are safe to share):
+        # clock-edge constants per tick()'d signal, and int -> Value
+        # wrapping for repeated poke()/set() drives.
+        self._tick_cache = {}
+        self._poke_cache = {}
         self._run_initial()
 
     # -- public API ------------------------------------------------------------
@@ -61,9 +69,16 @@ class Simulator:
         """Drive a top-level input (or any hierarchical signal) and settle."""
         signal = self._find_signal(name)
         if isinstance(value, int):
-            value = Value(value, signal.width)
-        else:
-            value = value.resize(signal.width)
+            old = signal.value
+            if not old.xmask and \
+                    old.bits == value & ((1 << signal.width) - 1):
+                # Re-driving the current value: _write_signal would
+                # early-return; still settle anything already pending.
+                self.settle()
+                return
+            value = self._wrap_int(value, signal.width)
+        # _write_signal resizes to (width, signedness) itself; a
+        # pre-resize here would be redundant work on the hot path.
         self._write_signal(signal, value)
         self.settle()
 
@@ -71,10 +86,20 @@ class Simulator:
         """Drive a signal without settling (for simultaneous changes)."""
         signal = self._find_signal(name)
         if isinstance(value, int):
-            value = Value(value, signal.width)
-        else:
-            value = value.resize(signal.width)
+            old = signal.value
+            if not old.xmask and \
+                    old.bits == value & ((1 << signal.width) - 1):
+                return  # no-op write: skip the Value construction
+            value = self._wrap_int(value, signal.width)
         self._write_signal(signal, value)
+
+    def _wrap_int(self, value, width):
+        """Memoized int -> Value wrap for testbench drives."""
+        key = (value, width)
+        wrapped = self._poke_cache.get(key)
+        if wrapped is None:
+            wrapped = self._poke_cache[key] = Value(value, width)
+        return wrapped
 
     def get(self, name):
         """Read a signal's current value."""
@@ -119,11 +144,31 @@ class Simulator:
 
     def tick(self, clock="clk", cycles=1, half_period=5):
         """Toggle ``clock`` through full cycles (rise then fall)."""
+        cached = self._tick_cache.get(clock)
+        if cached is None:
+            signal = self._find_signal(clock)
+            # The falling edge can only wake negedge/anyedge listeners
+            # or combinational readers of the clock (e.g. hierarchy
+            # binds); with neither present the post-fall settle is a
+            # guaranteed no-op, so write the 0 without settling.
+            # Listener lists are fixed after elaboration+compilation,
+            # so the decision and the edge values are cacheable.
+            wake_on_fall = bool(signal.comb_listeners) or any(
+                edge != "posedge" for edge, _ in signal.edge_listeners
+            )
+            cached = self._tick_cache[clock] = (
+                signal, wake_on_fall,
+                Value(1, signal.width), Value(0, signal.width),
+            )
+        signal, wake_on_fall, one, zero = cached
         for _ in range(cycles):
-            self.set(clock, 1)
-            self.step_time(half_period)
-            self.set(clock, 0)
-            self.step_time(half_period)
+            self._write_signal(signal, one)
+            self.settle()
+            self.time += half_period
+            self._write_signal(signal, zero)
+            if wake_on_fall:
+                self.settle()
+            self.time += half_period
 
     def input_names(self):
         return self.design.port_names("input")
@@ -135,17 +180,19 @@ class Simulator:
         return self._find_signal(name).width
 
     def trace_at(self, name, time):
-        """Value of ``name`` at ``time`` according to the recorded trace."""
+        """Value of ``name`` at ``time`` according to the recorded trace.
+
+        Histories are append-only and time-sorted, so the lookup is a
+        binary search — localization slicing over long traces stays
+        O(log n) per probe.
+        """
         history = self.trace.get(name)
         if not history:
             return None
-        best = None
-        for when, value in history:
-            if when <= time:
-                best = value
-            else:
-                break
-        return best
+        index = bisect_right(history, time, key=itemgetter(0))
+        if index == 0:
+            return None
+        return history[index - 1][1]
 
     # -- internals ----------------------------------------------------------------
 
@@ -181,22 +228,30 @@ class Simulator:
             self._active_set.add(id(process))
             self._active.append(process)
 
-    def _schedule_clocked(self, process):
-        if id(process) not in self._clocked_set:
-            self._clocked_set.add(id(process))
-            self._clocked.append(process)
-
     def _write_signal(self, signal, value):
-        value = value.resize(signal.width, signal.signed)
+        if value.width != signal.width or value.signed != signal.signed:
+            value = value.resize(signal.width, signal.signed)
         old = signal.value
-        if old == value and old.xmask == value.xmask:
+        # Both sides are resized to the signal's width, so bits+xmask
+        # equality is full structural equality (cheaper than __eq__).
+        if old.bits == value.bits and old.xmask == value.xmask:
             return
         signal.value = value
         self.event_count += 1
         if self.trace_enabled and signal.traced:
-            history = self.trace.setdefault(signal.name, [])
+            history = self.trace.get(signal.name)
+            if history is None:
+                history = self.trace[signal.name] = []
             if history and history[-1][0] == self.time:
-                history[-1] = (self.time, value)
+                # Same-time writes collapse to the final value; if the
+                # wave settles back to the previous entry's value the
+                # whole entry is a no-change glitch — drop it so the
+                # trace is a canonical value-change dump regardless of
+                # how many delta cycles the scheduler took.
+                if len(history) > 1 and history[-2][1] == value:
+                    history.pop()
+                else:
+                    history[-1] = (self.time, value)
             else:
                 history.append((self.time, value))
         for process in signal.comb_listeners:
@@ -205,12 +260,16 @@ class Simulator:
             old_bit = None if (old.xmask & 1) else (old.bits & 1)
             new_bit = None if (value.xmask & 1) else (value.bits & 1)
             for edge, process in signal.edge_listeners:
-                if edge == "posedge" and new_bit == 1 and old_bit != 1:
-                    self._schedule_clocked(process)
-                elif edge == "negedge" and new_bit == 0 and old_bit != 0:
-                    self._schedule_clocked(process)
-                elif edge == "anyedge":
-                    self._schedule_clocked(process)
+                if (
+                    (edge == "posedge" and new_bit == 1 and old_bit != 1)
+                    or (edge == "negedge" and new_bit == 0
+                        and old_bit != 0)
+                    or edge == "anyedge"
+                ):
+                    # _schedule_clocked, inlined for the clock path.
+                    if id(process) not in self._clocked_set:
+                        self._clocked_set.add(id(process))
+                        self._clocked.append(process)
 
     def _notify_memory_write(self, memory):
         self.event_count += 1

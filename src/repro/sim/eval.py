@@ -52,7 +52,9 @@ class Memory(object):
     def write(self, address, value):
         if address is None or address < self.lo or address > self.hi:
             return
-        self.words[address - self.lo] = value.resize(self.width)
+        if value.width != self.width:
+            value = value.resize(self.width)
+        self.words[address - self.lo] = value
 
 
 class Evaluator:

@@ -10,6 +10,8 @@ localization engine slices.
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.sim.backend import make_simulator
+from repro.sim.compile.xcheck import XCheckDivergence
 from repro.sim.engine import SimulationError, Simulator
 from repro.hdl.errors import HdlError
 from repro.uvm.env import Environment
@@ -45,24 +47,32 @@ class TestResult:
 
 
 class UVMTest:
-    """A configured test: DUT source + sequence + protocol + ref model."""
+    """A configured test: DUT source + sequence + protocol + ref model.
+
+    ``backend`` selects the simulation backend
+    (``interp``/``compiled``/``xcheck``); ``None`` uses the process
+    default (see :mod:`repro.sim.backend`), which campaign work units
+    scope per unit.
+    """
 
     def __init__(self, source, sequence, protocol, reference_model,
-                 compare_signals, top=None):
+                 compare_signals, top=None, backend=None):
         self.source = source
         self.sequence = sequence
         self.protocol = protocol
         self.reference_model = reference_model
         self.compare_signals = list(compare_signals)
         self.top = top
+        self.backend = backend
 
     def run(self):
         log = UVMLog()
         try:
-            from repro.sim.elaborate import elaborate
-
-            design = elaborate(self.source, top=self.top)
-            simulator = Simulator(design)
+            simulator = make_simulator(
+                self.source, backend=self.backend, top=self.top
+            )
+        except XCheckDivergence:
+            raise  # a backend bug, not a DUT failure: surface loudly
         except (HdlError, SimulationError) as exc:
             log.error(0, "ELAB", f"elaboration failed: {exc}")
             return TestResult(ok=False, log=log, error=str(exc))
@@ -72,6 +82,8 @@ class UVMTest:
         )
         try:
             scoreboard = env.run()
+        except XCheckDivergence:
+            raise  # ditto: lockstep divergence must never be swallowed
         except (SimulationError, HdlError) as exc:
             log.error(simulator.time, "SIM", f"simulation failed: {exc}")
             return TestResult(
@@ -91,9 +103,10 @@ class UVMTest:
 
 
 def run_uvm_test(source, sequence, protocol, reference_model,
-                 compare_signals, top=None):
+                 compare_signals, top=None, backend=None):
     """One-shot convenience wrapper around :class:`UVMTest`."""
     test = UVMTest(
-        source, sequence, protocol, reference_model, compare_signals, top
+        source, sequence, protocol, reference_model, compare_signals, top,
+        backend=backend,
     )
     return test.run()

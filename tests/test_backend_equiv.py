@@ -1,0 +1,142 @@
+"""Differential suite: the compiled backend must be bit-identical.
+
+The acceptance bar for the compiled simulation backend is exact
+bit-level equivalence with the tree-walking interpreter — values,
+traces, and x-propagation included.  Three layers enforce it here:
+
+- the ``xcheck`` backend drives both engines in lockstep over every
+  registered benchmark's HR stimulus and raises on the first
+  architectural-state divergence;
+- standalone runs on each backend must produce identical traces and
+  ``event_count``-compatible scoreboards (same pass rate, same checked
+  count, same mismatches — modelled seconds may differ because the
+  levelized scheduler evaluates glitch cones fewer times);
+- a sample of errgen mutants (buggy designs stress x-propagation far
+  harder than golden ones) goes through the same lockstep check, and a
+  mini-campaign must post identical HR/FR on both backends.
+"""
+
+import pytest
+
+from repro.bench.registry import all_modules, get_module, make_hr_sequence
+from repro.errgen.generator import generate_for_module
+from repro.errgen.mutations import FUNCTIONAL_OPERATORS
+from repro.experiments.runner import run_method_on_instance
+from repro.sim.backend import make_simulator
+from repro.uvm.driver import Driver
+from repro.uvm.test import run_uvm_test
+
+MODULE_NAMES = [bench.name for bench in all_modules()]
+
+#: Mutant-sample modules: one per Table II category.
+MUTANT_MODULES = ("adder_8bit", "fsm_seq", "ram_sp", "edge_detect")
+
+
+def _drive_hr(simulator, bench, seed=0):
+    driver = Driver(simulator, bench.protocol)
+    driver.apply_reset()
+    for txn in make_hr_sequence(bench, seed=seed).items():
+        driver.drive(txn, lambda _txn, _cycle: None)
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_xcheck_lockstep_on_golden(name):
+    """Both backends agree on every signal after every settle."""
+    bench = get_module(name)
+    simulator = make_simulator(bench.source, backend="xcheck",
+                               top=bench.top)
+    _drive_hr(simulator, bench)
+    assert simulator.compare_count > 0
+    # The compiled side actually compiled (not a silent full fallback).
+    assert simulator.dut.compiled_process_count == len(
+        simulator.dut.design.processes
+    )
+    assert simulator.dut.levelized
+    # Lockstep agreement extends to the recorded waveforms.
+    assert simulator.ref.trace == simulator.dut.trace
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_standalone_runs_match(name):
+    """Independent interp/compiled UVM runs: same verdicts, same trace."""
+    bench = get_module(name)
+    results = {}
+    for backend in ("interp", "compiled"):
+        results[backend] = run_uvm_test(
+            bench.source, make_hr_sequence(bench), bench.protocol,
+            bench.model(), bench.compare_signals, top=bench.top,
+            backend=backend,
+        )
+    interp, compiled = results["interp"], results["compiled"]
+    assert interp.ok and compiled.ok
+    assert compiled.pass_rate == interp.pass_rate
+    assert compiled.checked == interp.checked
+    assert len(compiled.mismatches) == len(interp.mismatches)
+    assert compiled.coverage == interp.coverage
+    assert compiled.trace == interp.trace
+
+
+@pytest.mark.parametrize("name", MUTANT_MODULES)
+def test_xcheck_lockstep_on_mutants(name):
+    """Functional mutants (x-prop stress) stay in lockstep too."""
+    bench = get_module(name)
+    instances = generate_for_module(
+        bench, operators=list(FUNCTIONAL_OPERATORS), per_operator=1,
+        seed=7,
+    )
+    assert instances, f"no functional mutants generated for {name}"
+    for instance in instances:
+        result = run_uvm_test(
+            instance.buggy_source, make_hr_sequence(bench),
+            bench.protocol, bench.model(), bench.compare_signals,
+            top=bench.top, backend="xcheck",
+        )
+        # A mutant may fail the scoreboard or even die mid-simulation;
+        # what it must never do is diverge between backends (run_uvm_test
+        # re-raises XCheckDivergence rather than swallowing it).
+        if result.simulator is not None:
+            assert result.simulator.ref.trace == result.simulator.dut.trace
+
+
+@pytest.mark.parametrize("name", MUTANT_MODULES)
+def test_mutant_verdicts_match(name):
+    """Standalone backend runs agree on mutant pass/fail verdicts."""
+    bench = get_module(name)
+    instances = generate_for_module(
+        bench, operators=list(FUNCTIONAL_OPERATORS), per_operator=1,
+        seed=7,
+    )
+    for instance in instances:
+        verdicts = {}
+        for backend in ("interp", "compiled"):
+            result = run_uvm_test(
+                instance.buggy_source, make_hr_sequence(bench),
+                bench.protocol, bench.model(), bench.compare_signals,
+                top=bench.top, backend=backend,
+            )
+            verdicts[backend] = (
+                result.ok, result.pass_rate, result.checked,
+                len(result.mismatches), result.error,
+            )
+        assert verdicts["compiled"] == verdicts["interp"], (
+            f"{instance.instance_id}: {verdicts}"
+        )
+
+
+def test_campaign_rates_backend_invariant():
+    """HR/FR from a quick campaign are identical across backends."""
+    bench = get_module("counter_12")
+    instances = generate_for_module(
+        bench, operators=list(FUNCTIONAL_OPERATORS), per_operator=1,
+        seed=0,
+    )[:2]
+    assert instances
+    for instance in instances:
+        records = {
+            backend: run_method_on_instance(
+                "uvllm", instance, attempts=1, backend=backend
+            )
+            for backend in ("interp", "compiled")
+        }
+        assert records["compiled"].hit == records["interp"].hit
+        assert records["compiled"].fixed == records["interp"].fixed
