@@ -11,21 +11,33 @@ would otherwise hide:
   headline method fixes nothing is broken, whatever pytest says);
 - a second, warm-cache pass must resolve entirely from disk and
   return records identical to the cold pass;
+- the merged coverage database of the smoke campaign must post
+  functional coverage at or above a pinned floor (a campaign whose
+  stimulus stops exercising its own bins is silently meaningless,
+  whatever HR/FR say) — write it out with ``--coverage-out`` for the
+  CI artifact;
 - the same campaign re-run on the *other* simulation backend must
   post an identical HR/FR rate table — the compiled backend is only
   allowed to change wall-clock time, never verification verdicts
   (modelled seconds may shift: the levelized scheduler evaluates
-  glitch cones fewer times, so event counts differ).
+  glitch cones fewer times, so event counts differ) — and
+  bit-identical per-record coverage fragments: functional counters
+  because settled values are backend-invariant, code-coverage maps
+  because collection is schedule-invariant by construction
+  (seq/initial live hooks + stable-point comb replay + trace-derived
+  toggles).
 
 Usage: python scripts/ci_smoke.py [--jobs N] [--cache-dir DIR]
                                   [--backend interp|compiled|xcheck]
                                   [--skip-backend-diff]
+                                  [--coverage-out DB.json]
 """
 
 import argparse
 import sys
 import tempfile
 
+from repro.cover.db import CoverageDB
 from repro.errgen.generator import generate_dataset
 from repro.experiments.runner import group_records, rates
 from repro.runner import ResultCache, expand_grid
@@ -34,6 +46,10 @@ from repro.runner.scheduler import CampaignRunner
 MODULES = ["adder_8bit", "counter_12", "edge_detect"]
 METHODS = ("uvllm", "meic")
 ATTEMPTS = 2
+#: Minimum merged functional coverage (%) for the smoke campaign.
+#: Measured ~97.5 on the seed suite; the floor leaves headroom for
+#: dataset drift but still catches a stimulus regression outright.
+COVERAGE_FLOOR = 95.0
 
 
 def fail(message):
@@ -68,6 +84,9 @@ def main():
     parser.add_argument("--skip-backend-diff", action="store_true",
                         help="skip the interp-vs-compiled rate-table "
                              "comparison")
+    parser.add_argument("--coverage-out", default=None,
+                        help="write the smoke campaign's merged "
+                             "coverage DB here (CI uploads it)")
     args = parser.parse_args()
     if args.backend is None:
         from repro.sim.backend import get_default_backend
@@ -120,6 +139,23 @@ def main():
     if warm != cold:
         return fail("warm-cache records differ from cold-run records")
 
+    coverage_db = CoverageDB.from_records(cold)
+    functional = 100.0 * coverage_db.functional_coverage()
+    print(f"merged functional coverage: {functional:.2f}% "
+          f"({len(coverage_db.functional)} modules, "
+          f"{len(coverage_db.code)} code groups)")
+    if functional < COVERAGE_FLOOR:
+        return fail(
+            f"smoke-campaign functional coverage {functional:.2f}% is "
+            f"below the pinned floor {COVERAGE_FLOOR}%"
+        )
+    if not coverage_db.code:
+        return fail("no code-coverage groups in the merged DB")
+    if args.coverage_out:
+        coverage_db.write(args.coverage_out)
+        print(f"coverage DB written to {args.coverage_out} "
+              f"(key {coverage_db.content_key()[:12]})")
+
     if not args.skip_backend_diff:
         # Re-run the identical grid on the other backend (fresh unit
         # cache: backend-keyed entries would all miss anyway) and
@@ -138,8 +174,21 @@ def main():
                 f"HR/FR rate tables diverge between backends: "
                 f"{args.backend}={main_table} vs {other}={other_table}"
             )
+        main_cov = [r.coverage for r in cold]
+        other_cov = [r.coverage for r in other_records]
+        if main_cov != other_cov:
+            diverged = [
+                cold[i].instance_id
+                for i in range(len(cold)) if main_cov[i] != other_cov[i]
+            ]
+            return fail(
+                f"coverage fragments diverge between backends "
+                f"(functional counters and code-coverage maps must be "
+                f"schedule-invariant); first offenders: {diverged[:5]}"
+            )
         print(f"backend parity ok: {args.backend} and {other} post "
-              f"identical HR/FR over {len(units)} units")
+              f"identical HR/FR and bit-identical coverage over "
+              f"{len(units)} units")
 
     print(f"smoke ok: {len(units)} units, warm pass fully cached "
           f"({warm_cache.hits} hits)")

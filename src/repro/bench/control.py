@@ -293,6 +293,10 @@ register(BenchmarkModule(
     hr_count=64,
     fr_count=256,
     complexity=2.0,
+    # S0=idle, S1=saw 1, S2=saw 10, S3=saw 101 (the hit state).
+    state_signal="state",
+    state_arcs=((0, 0), (0, 1), (1, 1), (1, 2), (2, 3), (2, 0),
+                (3, 1), (3, 2)),
 ))
 
 # ---------------------------------------------------------------------------
@@ -411,6 +415,10 @@ register(BenchmarkModule(
     hr_count=80,
     fr_count=320,
     complexity=1.8,
+    # S_RED=0 -> S_GREEN=1 -> S_YELLOW=2 -> red again; self-arcs are
+    # the timer holds.
+    state_signal="state",
+    state_arcs=((0, 0), (0, 1), (1, 1), (1, 2), (2, 2), (2, 0)),
 ))
 
 # ---------------------------------------------------------------------------
@@ -518,4 +526,7 @@ register(BenchmarkModule(
     hr_count=64,
     fr_count=256,
     complexity=1.6,
+    # 0=idle, 1=saw leading 1, 2=inside a long run of 1s.
+    state_signal="state",
+    state_arcs=((0, 0), (0, 1), (1, 0), (1, 2), (2, 2), (2, 0)),
 ))

@@ -41,6 +41,11 @@ class BenchmarkModule:
     #: Relative structural complexity (drives the mock LLM difficulty
     #: model; FSMs and dividers are harder to repair than adders).
     complexity: float = 1.0
+    #: DUT-internal FSM state register (functional transition
+    #: coverage probes it through the monitor), plus the legal state
+    #: arcs — the transition bins of the module's coverage model.
+    state_signal: Optional[str] = None
+    state_arcs: tuple = ()
 
     def model(self):
         instance = self.make_model()
@@ -108,8 +113,93 @@ def _directed_sequence(bench):
     )
 
 
-def make_hr_sequence(bench, seed=0):
-    """The testbench stimulus used during repair (Hit Rate suite)."""
+def make_coverage_model(bench, bin_count=4):
+    """The per-module functional coverage model.
+
+    Points over every stimulus field, crosses over all field pairs,
+    and — for modules that declare an FSM state register — transition
+    bins over the legal state arcs, probed from inside the DUT.
+    """
+    from repro.cover.model import input_space_model
+
+    model = input_space_model(bench.field_ranges, bin_count=bin_count,
+                              name=bench.name)
+    if bench.state_signal and bench.state_arcs:
+        model.add_transitions(
+            bench.state_signal,
+            [tuple(arc) for arc in bench.state_arcs],
+            name=f"{bench.state_signal}_arcs",
+        )
+        model.probes.append(bench.state_signal)
+    return model
+
+
+def make_coverage_evaluator(bench, backend=None):
+    """A simulator-backed closure-loop evaluator over the golden DUT.
+
+    Drives candidate transactions through a live golden simulation so
+    probe signals (FSM state) feed the coverage model; DUT state (and
+    transition history) persists across epochs, exactly like one
+    continuous testbench run.  Settled values are backend-invariant,
+    so the generated stimulus stream does not depend on ``backend``.
+    """
+    from repro.sim.backend import make_simulator
+    from repro.uvm.driver import Driver
+
+    simulator = make_simulator(bench.source, backend=backend,
+                               trace=False, top=bench.top)
+    driver = Driver(simulator, bench.protocol)
+    driver.apply_reset()
+
+    def evaluate(model, transactions):
+        new_hits = []
+
+        def hook(txn, cycle):
+            values = dict(txn.fields)
+            for probe in model.probes:
+                values[probe] = simulator.get(probe)
+            new_hits[-1] += model.sample(values)
+
+        for txn in transactions:
+            new_hits.append(0)
+            driver.drive(txn, hook)
+        return new_hits
+
+    return evaluate
+
+
+def _main_stimulus(bench, count, seed, stimulus):
+    """The bulk constrained-random block of a suite, in the selected
+    stimulus mode (``random`` or ``coverage``)."""
+    if stimulus == "coverage":
+        from repro.cover.closure import CoverageDrivenSequence
+
+        return CoverageDrivenSequence(
+            bench.field_ranges, count=count, seed=seed,
+            model_factory=lambda: make_coverage_model(bench),
+            evaluator=make_coverage_evaluator(bench),
+            hold_cycles=bench.hold_cycles,
+        )
+    if stimulus != "random":
+        raise ValueError(
+            f"unknown stimulus mode {stimulus!r} "
+            "(known: random, coverage)"
+        )
+    return RandomSequence(
+        bench.field_ranges, count=count, seed=seed,
+        hold_cycles=bench.hold_cycles,
+    )
+
+
+def make_hr_sequence(bench, seed=0, stimulus="random"):
+    """The testbench stimulus used during repair (Hit Rate suite).
+
+    ``stimulus`` selects how the bulk constrained-random block is
+    generated: ``"random"`` (fixed-random, the default) or
+    ``"coverage"`` (the closed-loop coverage-driven engine at the
+    same transaction budget).  Reset bursts, directed vectors and the
+    async-glitch tail are identical in both modes.
+    """
     parts = []
     if bench.protocol.is_clocked and bench.protocol.reset is not None:
         parts.append(ResetSequence(cycles=2, fields=_idle_fields(bench)))
@@ -117,10 +207,7 @@ def make_hr_sequence(bench, seed=0):
     if directed is not None:
         parts.append(directed)
     parts.append(
-        RandomSequence(
-            bench.field_ranges, count=bench.hr_count, seed=seed,
-            hold_cycles=bench.hold_cycles,
-        )
+        _main_stimulus(bench, bench.hr_count, seed, stimulus)
     )
     if bench.protocol.is_clocked and bench.protocol.reset is not None:
         # Async-reset glitch (no clock edge) + a short tail: catches

@@ -13,7 +13,12 @@ Commands:
   campaign runner: ``--jobs N`` fans units out over worker processes,
   ``--cache-dir`` memoizes finished units on disk, ``--shard i/n``
   runs one round-robin partition of the grid (for multi-host sweeps
-  sharing a cache directory).
+  sharing a cache directory); every record carries its coverage
+  fragment, merged into a coverage DB (``--coverage-db``; sharded
+  runs also drop their partition into a per-grid slot under
+  ``<cache-dir>/coverage/`` for cross-host merging);
+- ``coverage <db.json ...>`` — union-merge coverage databases and
+  report totals, per-module bins and (``--holes``) uncovered bins.
 """
 
 import argparse
@@ -164,6 +169,7 @@ def _cmd_campaign(args):
     units = expand_grid(instances, methods, attempts=args.attempts,
                         backend=args.backend)
     total = len(units)
+    grid_key = _grid_key(units)
     if not units:
         print("campaign grid is empty", file=sys.stderr)
         return 1
@@ -193,7 +199,125 @@ def _cmd_campaign(args):
             for record in records:
                 handle.write(json.dumps(record_to_dict(record)) + "\n")
         print(f"records written to {args.records}", file=sys.stderr)
+
+    import os
+
+    from repro.cover.db import CoverageDB
+
+    db = CoverageDB.from_records(records)
+    print(f"functional coverage (merged over this run): "
+          f"{100.0 * db.functional_coverage():.1f}%")
+    if args.coverage_db:
+        db.write(args.coverage_db)
+        print(f"coverage DB written to {args.coverage_db} "
+              f"(key {db.content_key()[:12]})", file=sys.stderr)
+    if args.cache_dir and shard is not None:
+        # Shard slot under the shared cache dir, keyed by the full
+        # grid's identity: each host overwrites *its own* partition on
+        # re-runs (no stale accumulation), and merging one campaign's
+        # `<grid-key>.shard-*` set reproduces the --jobs 1 database
+        # bit-for-bit.
+        index, count = shard
+        path = os.path.join(
+            args.cache_dir, "coverage",
+            f"{grid_key}.shard-{index + 1}-of-{count}.json",
+        )
+        db.write(path)
+        print(f"shard coverage DB saved to {path}; merge with: "
+              f"repro.cli coverage "
+              f"'{os.path.join(args.cache_dir, 'coverage', grid_key)}"
+              f".shard-*.json'", file=sys.stderr)
     return 0
+
+
+def _grid_key(units):
+    """Stable identity of a campaign grid: the hash of its units'
+    cache keys (content-hashed inputs), independent of sharding."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for unit in units:
+        digest.update(unit.cache_key().encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+def _cmd_coverage(args):
+    import glob as globmod
+
+    from repro.cover.db import CoverageDB, CoverageMergeError
+    from repro.cover.holes import format_holes
+
+    paths = []
+    for pattern in args.databases:
+        matched = sorted(globmod.glob(pattern))
+        paths.extend(matched if matched else [pattern])
+    try:
+        db = CoverageDB.merge_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"cannot read coverage DB: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, CoverageMergeError) as exc:
+        print(f"cannot merge coverage DBs: {exc}", file=sys.stderr)
+        return 2
+    print(db.report())
+    if args.holes:
+        for group in sorted(db.functional):
+            model = _model_from_dict(group, db.functional[group])
+            holes = _holes_from_model(model)
+            if not holes:
+                continue
+            print(f"holes in {group}:")
+            for line in format_holes(holes, limit=args.hole_limit
+                                     ).splitlines():
+                print(f"  {line}")
+    if args.out:
+        db.write(args.out)
+        print(f"merged coverage DB written to {args.out} "
+              f"(key {db.content_key()[:12]})", file=sys.stderr)
+    if args.fail_under is not None and \
+            100.0 * db.functional_coverage() < args.fail_under:
+        print(f"functional coverage "
+              f"{100.0 * db.functional_coverage():.2f}% is below "
+              f"--fail-under {args.fail_under}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _model_from_dict(group, data):
+    """Rebuild a CoverModel skeleton (bins + hits) from DB counters so
+    the hole report can run over a merged database."""
+    from repro.cover.model import CoverModel, Cross, TransitionPoint
+    from repro.uvm.coverage import CoverPoint
+
+    model = CoverModel(name=group)
+    for name, entry in sorted((data.get("points") or {}).items()):
+        point = CoverPoint(name, [tuple(b) for b in entry["bins"]])
+        point.hits = {int(k): v for k, v in entry["hits"].items()}
+        model.points.append(point)
+    for name, entry in sorted((data.get("crosses") or {}).items()):
+        members = [model.point(p) for p in entry["points"]]
+        if any(m is None for m in members):
+            continue
+        cross = Cross(name=name, points=members)
+        cross.hits = {
+            tuple(int(i) for i in key.split("|")): count
+            for key, count in entry["hits"].items()
+        }
+        model.crosses.append(cross)
+    for name, entry in sorted((data.get("transitions") or {}).items()):
+        trans = TransitionPoint(
+            signal=entry["signal"],
+            seqs=[tuple(s) for s in entry["seqs"]], name=name,
+        )
+        trans.hits = {int(k): v for k, v in entry["hits"].items()}
+        model.transitions.append(trans)
+    return model
+
+
+def _holes_from_model(model):
+    from repro.cover.holes import holes_of
+
+    return holes_of(model)
 
 
 def build_parser():
@@ -268,7 +392,29 @@ def build_parser():
                                "cache records are keyed per backend")
     campaign.add_argument("--records", default=None,
                           help="write per-unit records as JSONL here")
+    campaign.add_argument("--coverage-db", default=None,
+                          help="write this run's merged coverage DB "
+                               "(deterministic JSON) here")
     campaign.set_defaults(func=_cmd_campaign)
+
+    coverage = sub.add_parser(
+        "coverage",
+        help="merge and report coverage databases",
+    )
+    coverage.add_argument("databases", nargs="+",
+                          help="coverage DB files (globs allowed), e.g. "
+                               ".campaign-cache/coverage/*.json")
+    coverage.add_argument("--out", default=None,
+                          help="write the merged DB here")
+    coverage.add_argument("--holes", action="store_true",
+                          help="list uncovered bins per module")
+    coverage.add_argument("--hole-limit", type=int, default=20,
+                          help="max holes listed per module")
+    coverage.add_argument("--fail-under", type=float, default=None,
+                          metavar="PCT",
+                          help="exit 1 if merged functional coverage "
+                               "falls below PCT")
+    coverage.set_defaults(func=_cmd_coverage)
     return parser
 
 

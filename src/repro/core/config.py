@@ -14,7 +14,10 @@ class UVLLMConfig:
       info before escalating to suspicious-line mode (Algorithm 2's TH);
     - ``patch_form`` — ``"pair"`` (original/patched pairs, the default)
       or ``"complete"`` (whole-module regeneration, Table III ablation);
-    - ``preprocess_iterations`` — Algorithm 1 loop bound.
+    - ``preprocess_iterations`` — Algorithm 1 loop bound;
+    - ``stimulus`` — HR-suite stimulus mode: ``"random"``
+      (fixed-random) or ``"coverage"`` (closed-loop coverage-driven,
+      same transaction budget; the stimulus ablation's switch).
     """
 
     max_iterations: int = 5
@@ -23,3 +26,4 @@ class UVLLMConfig:
     preprocess_iterations: int = 6
     hr_seed: int = 0
     enable_rollback: bool = True
+    stimulus: str = "random"

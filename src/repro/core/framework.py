@@ -79,7 +79,8 @@ class UVLLM:
         )
 
         if sequence is None:
-            sequence = make_hr_sequence(bench, seed=config.hr_seed)
+            sequence = make_hr_sequence(bench, seed=config.hr_seed,
+                                        stimulus=config.stimulus)
 
         current, prep_report = preprocessor.run(source)
         preprocess_changed = current != source

@@ -1,0 +1,222 @@
+"""Closed-loop coverage-driven stimulus.
+
+:class:`CoverageDrivenSequence` wraps constrained-random generation
+(:class:`repro.uvm.sequence.RandomSequence` semantics) in a coverage
+closure loop.  The transaction budget is split into epochs:
+
+1. the first epoch is plain constrained-random exploration — the
+   same stream a fixed-random testbench would start with;
+2. after every epoch the engine reads the model's hole report
+   (:func:`repro.cover.holes.holes_of`) and spends the next epoch on
+   **hole targeting**: each uncovered point/cross bin gets a
+   transaction whose fields are drawn *inside* the missing bin
+   ranges, and each drivable input-transition hole gets the exact
+   back-to-back value burst;
+3. holes the generator cannot target directly (transition bins over
+   DUT-internal probe signals, e.g. FSM arcs) are chased with
+   **credit-weighted exploration**: every field bin is scored by how
+   many first-hits coincided with it, and exploration draws bins
+   proportionally to that credit — a bandit-style re-bias that, for
+   example, learns to hold ``en=1`` because disabled cycles never
+   produce new FSM arcs.
+
+The loop stops at full closure or when the budget is spent.  The
+whole construction is deterministic in ``seed``: the generated
+stream, and therefore every downstream verification verdict, is
+reproducible and cache-safe.
+
+``evaluator(model, transactions) -> [new_hits_per_txn]`` abstracts
+how candidate stimulus is scored.  The default scores against the
+input-space model alone (no DUT needed); the bench registry supplies
+a simulator-backed evaluator that drives the golden DUT so probe
+transitions participate in the feedback.
+"""
+
+import random
+
+from repro.cover.holes import holes_of
+from repro.cover.model import input_space_model
+from repro.uvm.sequence import RandomSequence, Sequence
+from repro.uvm.transaction import Transaction
+
+
+def default_model_factory(field_ranges):
+    """Input-space model: a point per field + all pairwise crosses."""
+    return lambda: input_space_model(field_ranges)
+
+
+def input_space_evaluator(model, transactions):
+    """Score transactions against the model without a DUT."""
+    return [model.sample(txn.fields) for txn in transactions]
+
+
+class _CreditTable:
+    """Per-field, per-bin exploration weights (bandit-style)."""
+
+    def __init__(self, model, field_names):
+        self.points = {}
+        for name in field_names:
+            point = model.point(name)
+            if point is not None and point.bins:
+                self.points[name] = point
+
+        self.credit = {
+            name: [1.0] * len(point.bins)
+            for name, point in self.points.items()
+        }
+
+    def reward(self, fields, new_hits):
+        if not new_hits:
+            return
+        for name, point in self.points.items():
+            value = fields.get(name)
+            if value is None:
+                continue
+            index = point.bin_index(value)
+            if index is not None:
+                self.credit[name][index] += new_hits
+
+    def draw(self, name, rng, spec):
+        """One credit-weighted draw for ``name`` (uniform fallback)."""
+        point = self.points.get(name)
+        if point is None:
+            return _uniform_draw(spec, rng)
+        weights = self.credit[name]
+        total = sum(weights)
+        pick = rng.random() * total
+        for index, weight in enumerate(weights):
+            pick -= weight
+            if pick <= 0.0:
+                lo, hi = point.bins[index]
+                return rng.randint(lo, hi)
+        lo, hi = point.bins[-1]
+        return rng.randint(lo, hi)
+
+
+def _uniform_draw(spec, rng):
+    if isinstance(spec, tuple) and len(spec) == 2 and \
+            all(isinstance(v, int) for v in spec):
+        return rng.randint(*spec)
+    return rng.choice(list(spec))
+
+
+def close_coverage(field_ranges, count, model, evaluator=None, seed=0,
+                   epochs=4, corner_weight=0.15, hold_cycles=1,
+                   target=1.0):
+    """Run the closure loop; returns ``(transactions, model)``.
+
+    Generates at most ``count`` transactions; stops early only when
+    the model reports full closure (``coverage >= target``).
+    """
+    if evaluator is None:
+        evaluator = input_space_evaluator
+    rng = random.Random(seed)
+    field_ranges = dict(field_ranges)
+    credit = _CreditTable(model, field_ranges)
+    chunk = max(1, -(-count // max(1, epochs)))  # ceil
+    transactions = []
+
+    def run_batch(batch):
+        results = evaluator(model, batch)
+        for txn, new_hits in zip(batch, results):
+            credit.reward(txn.fields, new_hits)
+        transactions.extend(batch)
+
+    # Epoch 0: plain constrained-random exploration (the fixed-random
+    # baseline's opening book, same corner-weight contract).
+    opening = list(RandomSequence(
+        field_ranges, count=min(chunk, count), seed=seed,
+        corner_weight=corner_weight, hold_cycles=hold_cycles,
+    ))
+    run_batch(opening)
+
+    while len(transactions) < count and model.coverage < target:
+        remaining = count - len(transactions)
+        size = min(chunk, remaining)
+        holes = holes_of(model, drivable_fields=field_ranges)
+        batch = _targeted_batch(field_ranges, holes, size, rng, credit,
+                                hold_cycles)
+        run_batch(batch)
+    return transactions, model
+
+
+def _targeted_batch(field_ranges, holes, size, rng, credit, hold_cycles):
+    """One epoch of hole-targeted + credit-weighted transactions."""
+    targetable = [hole for hole in holes if hole.fields]
+    batch = []
+    cursor = 0
+    while len(batch) < size:
+        hole = None
+        if targetable:
+            hole = targetable[cursor % len(targetable)]
+            cursor += 1
+        if hole is not None and hole.kind == "transition" and \
+                hole.seq is not None and hole.signal in field_ranges:
+            # Drivable input transition: emit the exact burst (clipped
+            # to the remaining budget — a partial burst is still
+            # useful exploration).
+            for value in hole.seq:
+                if len(batch) >= size:
+                    break
+                batch.append(_make_txn(field_ranges, {hole.signal: value},
+                                       rng, credit, hold_cycles))
+            continue
+        pinned = {}
+        if hole is not None:
+            for name, (lo, hi) in hole.fields.items():
+                pinned[name] = rng.randint(lo, hi)
+        batch.append(_make_txn(field_ranges, pinned, rng, credit,
+                               hold_cycles))
+    return batch
+
+
+def _make_txn(field_ranges, pinned, rng, credit, hold_cycles):
+    fields = {}
+    for name, spec in field_ranges.items():
+        if name in pinned:
+            fields[name] = pinned[name]
+        else:
+            fields[name] = credit.draw(name, rng, spec)
+    return Transaction(fields, hold_cycles=hold_cycles)
+
+
+class CoverageDrivenSequence(Sequence):
+    """A :class:`~repro.uvm.sequence.Sequence` over the closure loop.
+
+    Generation runs once, lazily, on first iteration (repair loops
+    re-run their stimulus many times; the closed stream must be the
+    same every pass) and is fully determined by ``seed``.
+    """
+
+    name = "coverage_driven"
+
+    def __init__(self, field_ranges, count, seed=0, model_factory=None,
+                 evaluator=None, epochs=4, corner_weight=0.15,
+                 hold_cycles=1, target=1.0):
+        self.field_ranges = dict(field_ranges)
+        self.count = count
+        self.seed = seed
+        self.model_factory = model_factory or \
+            default_model_factory(self.field_ranges)
+        self.evaluator = evaluator
+        self.epochs = epochs
+        self.corner_weight = corner_weight
+        self.hold_cycles = hold_cycles
+        self.target = target
+        self._cached = None
+        self.model = None
+
+    def _generate(self):
+        if self._cached is None:
+            model = self.model_factory()
+            self._cached, self.model = close_coverage(
+                self.field_ranges, self.count, model,
+                evaluator=self.evaluator, seed=self.seed,
+                epochs=self.epochs, corner_weight=self.corner_weight,
+                hold_cycles=self.hold_cycles, target=self.target,
+            )
+        return self._cached
+
+    def items(self):
+        for txn in self._generate():
+            yield txn.copy()

@@ -1,0 +1,97 @@
+"""Hole reports: the uncovered remainder of a coverage model.
+
+A *hole* is one bin that never hit: a point bin, a cross bin, or a
+transition sequence.  Holes are what closes the loop — the
+coverage-driven stimulus engine (:mod:`repro.cover.closure`) reads
+them and re-biases field distributions; humans read the same report
+from ``repro.cli coverage --holes``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class Hole:
+    """One uncovered bin, with enough structure to target it.
+
+    - ``kind`` — ``point`` / ``cross`` / ``transition``;
+    - ``name`` — the owning point/cross/transition name;
+    - ``fields`` — for point/cross holes, ``{field: (lo, hi)}`` value
+      ranges a stimulus generator should draw from to hit the bin;
+    - ``signal`` / ``seq`` — for transition holes, the observed
+      signal and the missing value sequence (not directly drivable
+      when the signal is a DUT-internal probe).
+    """
+
+    kind: str
+    name: str
+    fields: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    signal: Optional[str] = None
+    seq: Optional[Tuple[int, ...]] = None
+
+    def describe(self):
+        if self.kind == "transition":
+            arrow = " -> ".join(str(v) for v in self.seq or ())
+            return f"transition {self.name}: {self.signal}: {arrow}"
+        ranges = ", ".join(
+            f"{name} in [{lo}, {hi}]"
+            for name, (lo, hi) in sorted(self.fields.items())
+        )
+        return f"{self.kind} {self.name}: {ranges}"
+
+
+def holes_of(model, drivable_fields=None):
+    """All uncovered bins of a :class:`~repro.cover.model.CoverModel`.
+
+    ``drivable_fields`` (optional) is the set of stimulus field names
+    the caller can actually drive; holes over other signals (DUT
+    probes) are still reported but carry no ``fields`` targeting info.
+    Order is deterministic: points, then crosses, then transitions,
+    each in model order, bins in index order.
+    """
+    drivable = None if drivable_fields is None else set(drivable_fields)
+    found = []
+    for point in model.points:
+        for index, (lo, hi) in enumerate(point.bins):
+            if index in point.hits:
+                continue
+            fields = {}
+            if drivable is None or point.signal in drivable:
+                fields[point.signal] = (lo, hi)
+            found.append(Hole(kind="point", name=point.signal,
+                              fields=fields, signal=point.signal))
+    for cross in model.crosses:
+        for key in cross.iter_keys():
+            if key in cross.hits:
+                continue
+            values = cross.bin_values(key)
+            fields = {
+                name: span for name, span in values.items()
+                if drivable is None or name in drivable
+            }
+            found.append(Hole(kind="cross", name=cross.name,
+                              fields=fields))
+    for trans in model.transitions:
+        for index, seq in enumerate(trans.seqs):
+            if index in trans.hits:
+                continue
+            fields = {}
+            if drivable is None or trans.signal in drivable:
+                # An input-field transition is directly drivable as a
+                # back-to-back pair; expose the first step as a range
+                # so generic targeting still applies.
+                fields[trans.signal] = (seq[0], seq[0])
+            found.append(Hole(kind="transition", name=trans.name,
+                              fields=fields, signal=trans.signal,
+                              seq=tuple(seq)))
+    return found
+
+
+def format_holes(holes, limit=None):
+    """Human-readable hole report (``limit`` rows, None for all)."""
+    rows = holes if limit is None else holes[:limit]
+    lines = [hole.describe() for hole in rows]
+    if limit is not None and len(holes) > limit:
+        lines.append(f"... and {len(holes) - limit} more")
+    return "\n".join(lines) if lines else "no holes: coverage closed"

@@ -3,15 +3,27 @@ calls out:
 
 - **rollback** — the Score-Register rollback mechanism on vs off;
 - **ms_threshold** — when to escalate from MS-mode to SL-mode error
-  info (Algorithm 2's TH): 0 (always SL), 2 (paper default), 5 (never).
+  info (Algorithm 2's TH): 0 (always SL), 2 (paper default), 5 (never);
+- **stimulus** — fixed-random vs closed-loop coverage-driven HR
+  stimulus at equal transaction budget: per-module functional
+  coverage achieved by each, plus the HR/FR impact of running the
+  whole repair pipeline on the coverage-driven suite.
 
-Both are UVLLM-internal switches, so the comparison isolates exactly
+All are UVLLM-internal switches, so each comparison isolates exactly
 one pipeline decision at a time.
 """
 
+from repro.bench.registry import (
+    get_module,
+    make_coverage_evaluator,
+    make_coverage_model,
+    module_names,
+)
+from repro.cover.closure import CoverageDrivenSequence
 from repro.errgen.generator import generate_dataset
 from repro.runner.grid import expand_grid
 from repro.runner.scheduler import run_units
+from repro.uvm.sequence import RandomSequence
 
 
 def _run_config(instances, config_overrides, attempts=2, jobs=1,
@@ -83,6 +95,99 @@ def run_ms_threshold_ablation(modules=None, per_operator=1, attempts=2,
     return results
 
 
+def compare_stimulus_coverage(name, seed=0, budget=None):
+    """Functional coverage of fixed-random vs coverage-driven stimulus
+    on one module's golden DUT, at the same transaction budget.
+
+    Both arms are measured through the same simulator-backed
+    evaluator (probe transitions included).  Returns a row dict; the
+    closure loop may stop under budget when it reaches full closure,
+    which the row records as ``driven_txns``.
+    """
+    bench = get_module(name)
+    count = budget or bench.hr_count
+    random_model = make_coverage_model(bench)
+    make_coverage_evaluator(bench)(
+        random_model,
+        list(RandomSequence(bench.field_ranges, count=count, seed=seed,
+                            hold_cycles=bench.hold_cycles)),
+    )
+    driven = CoverageDrivenSequence(
+        bench.field_ranges, count=count, seed=seed,
+        model_factory=lambda: make_coverage_model(bench),
+        evaluator=make_coverage_evaluator(bench),
+        hold_cycles=bench.hold_cycles,
+    )
+    driven_txns = len(list(driven))
+    return {
+        "budget": count,
+        "random": random_model.coverage,
+        "driven": driven.model.coverage,
+        "driven_txns": driven_txns,
+    }
+
+
+def run_stimulus_ablation(modules=None, per_operator=1, attempts=2,
+                          seed=0, jobs=1, cache_dir=None, backend=None,
+                          budget=None):
+    """Fixed-random vs coverage-driven HR stimulus at equal budget.
+
+    Two comparisons, both closed-loop-relevant:
+
+    - ``coverage`` — per-module functional coverage each stimulus
+      mode achieves on the golden DUT (the closure claim: driven
+      must close at least as much as random everywhere);
+    - ``hr`` — the repair campaign re-run with the HR suite's bulk
+      random block swapped for the coverage-driven engine
+      (``UVLLMConfig.stimulus``), functional errors only.
+    """
+    names = list(modules) if modules else module_names()
+    coverage = {
+        name: compare_stimulus_coverage(name, seed=seed, budget=budget)
+        for name in names
+    }
+    instances = [
+        inst for inst in generate_dataset(
+            seed=seed, per_operator=per_operator, target=None,
+            modules=modules, cache_dir=cache_dir,
+        )
+        if inst.kind == "functional"
+    ]
+    hr = {
+        "fixed_random": _run_config(
+            instances, {"stimulus": "random"}, attempts,
+            jobs=jobs, cache_dir=cache_dir, backend=backend,
+        ),
+        "coverage_driven": _run_config(
+            instances, {"stimulus": "coverage"}, attempts,
+            jobs=jobs, cache_dir=cache_dir, backend=backend,
+        ),
+    }
+    return {"coverage": coverage, "hr": hr}
+
+
+def render_stimulus(results, title="Ablation: coverage-driven stimulus"):
+    lines = [title,
+             f"{'module':<18}{'budget':>8}{'random %':>10}"
+             f"{'driven %':>10}{'driven txns':>13}"]
+    for name, row in results["coverage"].items():
+        lines.append(
+            f"{name:<18}{row['budget']:>8}"
+            f"{100.0 * row['random']:>10.1f}"
+            f"{100.0 * row['driven']:>10.1f}"
+            f"{row['driven_txns']:>13}"
+        )
+    lines.append("")
+    lines.append(f"{'config':<24}{'HR %':>8}{'FR %':>8}{'t (s)':>9}"
+                 f"{'rollbacks':>11}")
+    for label, row in results["hr"].items():
+        lines.append(
+            f"{label:<24}{row['hr']:>8.1f}{row['fr']:>8.1f}"
+            f"{row['seconds']:>9.2f}{row['rollbacks']:>11d}"
+        )
+    return "\n".join(lines)
+
+
 def render(results, title):
     lines = [title,
              f"{'config':<24}{'HR %':>8}{'FR %':>8}{'t (s)':>9}"
@@ -102,3 +207,5 @@ if __name__ == "__main__":
     print()
     print(render(run_ms_threshold_ablation(modules=quick),
                  "Ablation: MS->SL escalation threshold"))
+    print()
+    print(render_stimulus(run_stimulus_ablation(modules=quick)))

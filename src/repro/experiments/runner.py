@@ -22,6 +22,7 @@ mutable module state so that a worker process computes exactly what
 the serial loop would.
 """
 
+import json
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
@@ -29,7 +30,12 @@ from repro.baselines.direct import DirectLLM
 from repro.baselines.meic import MEIC
 from repro.baselines.rtlrepair import RTLRepair
 from repro.baselines.strider import Strider
-from repro.bench.registry import get_module, make_fr_sequence
+from repro.bench.registry import (
+    get_module,
+    make_coverage_model,
+    make_fr_sequence,
+    make_hr_sequence,
+)
 from repro.core.config import UVLLMConfig
 from repro.core.framework import UVLLM
 from repro.lint.linter import Linter
@@ -61,6 +67,11 @@ class InstanceRecord:
     stage_seconds: dict = field(default_factory=dict)
     attempts_used: int = 0
     rollbacks: int = 0
+    #: Coverage-database fragment from this unit's verification run:
+    #: ``{"functional": {module: counters},
+    #:    "code": {instance_id: counters}}`` — union-merged
+    #: campaign-wide by :class:`repro.cover.db.CoverageDB`.
+    coverage: dict = field(default_factory=dict)
 
 
 def evaluate_fix(final_source, bench, seed=1000):
@@ -78,6 +89,71 @@ def evaluate_fix(final_source, bench, seed=1000):
         bench.model(), bench.compare_signals, top=bench.top,
     )
     return result.all_passed
+
+
+#: Per-process memo for :func:`collect_unit_coverage`: the fragment
+#: depends only on the instance (not the repair method), but the
+#: campaign grid is instances x methods — without the memo every
+#: method re-simulates the same instrumented HR suite (pool workers
+#: each keep their own memo, so a multi-worker campaign still pays
+#: once per worker that sees the instance).  The key includes the
+#: active backend even though fragments are designed to be
+#: backend-invariant: ci_smoke's cross-backend parity check must
+#: compare two *measurements*, not a measurement against its own
+#: cached copy.  Values are JSON strings (immutable; callers get a
+#: fresh deep copy).
+_COVERAGE_MEMO = {}
+_COVERAGE_MEMO_LIMIT = 4096
+
+
+def collect_unit_coverage(instance, bench, seed=0):
+    """The coverage-database fragment for one campaign unit.
+
+    Measures the HR verification suite with the module's rich
+    functional model (crosses, transitions, probes) *and* structural
+    code coverage, preferring the buggy source — the paper's claim is
+    that the stimulus actually exercises the injected error — and
+    falling back to the golden source when the mutant cannot simulate
+    at all (syntax-class errors never elaborate).  Deterministic in
+    its arguments, so cached records replay it bit-for-bit; settled
+    values are backend-invariant, so the fragment is designed to be
+    too — a property ci_smoke verifies by re-measuring per backend
+    (hence the backend in the memo key).
+    """
+    key = (instance.instance_id, hash(instance.buggy_source),
+           hash(instance.golden_source), seed, get_default_backend())
+    memoized = _COVERAGE_MEMO.get(key)
+    if memoized is not None:
+        return json.loads(memoized)
+    fragment = _measure_unit_coverage(instance, bench, seed)
+    if len(_COVERAGE_MEMO) < _COVERAGE_MEMO_LIMIT:
+        _COVERAGE_MEMO[key] = json.dumps(fragment)
+    return fragment
+
+
+def _measure_unit_coverage(instance, bench, seed):
+    sources = (
+        ("buggy", instance.buggy_source),
+        ("golden", instance.golden_source),
+    )
+    for label, source in sources:
+        result = run_uvm_test(
+            source, make_hr_sequence(bench, seed=seed), bench.protocol,
+            bench.model(), bench.compare_signals, top=bench.top,
+            coverage=make_coverage_model(bench), code_coverage=True,
+        )
+        if not result.ok:
+            continue
+        detail = result.coverage_detail
+        code = dict(detail.get("code") or {})
+        code["dut"] = label
+        return {
+            "functional": {
+                instance.module_name: detail.get("functional") or {}
+            },
+            "code": {instance.instance_id: code},
+        }
+    return {}
 
 
 def _make_method(method, seed, config_overrides=None):
@@ -123,6 +199,12 @@ def run_method_on_instance(method, instance, attempts=3, base_seed=0,
     repair pipeline performs (repair-loop scoring *and* the FR
     oracle), including inside pool workers; ``None`` keeps the process
     default (``REPRO_SIM_BACKEND`` or ``set_default_backend``).
+
+    Every record also carries the instance's coverage fragment (one
+    instrumented HR run, memoized per worker process and per
+    instance) — roughly a tenth of a unit's cost next to the repair
+    loop's own UVM runs, and the price of the campaign-wide coverage
+    database being complete rather than opt-in.
     """
     backend = backend or get_default_backend()
     bench = get_module(instance.module_name)
@@ -137,6 +219,7 @@ def run_method_on_instance(method, instance, attempts=3, base_seed=0,
     total_seconds = 0.0
     outcome = None
     with use_backend(backend):
+        record.coverage = collect_unit_coverage(instance, bench)
         for attempt in range(attempts):
             engine = _make_method(method, seed=base_seed + attempt,
                                   config_overrides=config_overrides)

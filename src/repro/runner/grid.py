@@ -25,7 +25,10 @@ from typing import Optional, Tuple
 #: change; old cache entries are then ignored rather than misread.
 #: v2: units carry a simulation backend, and the cache key folds it in
 #: so records produced by different backends never alias.
-CACHE_SCHEMA_VERSION = 2
+#: v3: records carry a serialized coverage fragment (functional model
+#: counters per module + code-coverage counters per instance), merged
+#: campaign-wide into the coverage database.
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass

@@ -102,16 +102,20 @@ def use_backend(name):
         _default_backend = previous
 
 
-def make_simulator(source, backend=None, trace=True, top=None):
+def make_simulator(source, backend=None, trace=True, top=None,
+                   code_coverage=False):
     """Construct a simulator for ``source`` on the selected backend.
 
     ``source`` is Verilog text (or, for the non-xcheck backends, an
     already elaborated ``Design``); ``backend`` of ``None`` uses the
-    process default."""
+    process default.  ``code_coverage=True`` attaches a
+    :class:`repro.cover.code.CodeCoverage` collector (readable as
+    ``simulator.code_coverage`` after the run)."""
     name = canonical_backend(backend) if backend else _default_backend
     cls = BACKENDS[name]
     if name == "xcheck":
-        return cls(source, trace=trace, top=top)
+        return cls(source, trace=trace, top=top,
+                   code_coverage=code_coverage)
     if isinstance(source, str):
         source = elaborate(source, top=top)
-    return cls(source, trace=trace)
+    return cls(source, trace=trace, code_coverage=code_coverage)

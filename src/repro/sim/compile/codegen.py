@@ -113,6 +113,18 @@ class ProcessCompiler:
         }
         self._bound = {}  # id(obj) -> env name
         self._const_folder = Evaluator(_ParamResolver(self.scope))
+        # Code-coverage instrumentation mirrors the interpreter's:
+        # live recording for seq/initial bodies only (comb bodies are
+        # covered by schedule-invariant stable-point replay instead —
+        # see repro.cover.code).  Recording calls are baked into the
+        # generated source, so they cost nothing when coverage is off.
+        cov = getattr(simulator, "code_coverage", None)
+        self.cov = cov if (
+            cov is not None and process.kind != "comb"
+        ) else None
+        if self.cov is not None:
+            self.env["_CS"] = self.cov.hit_stmt
+            self.env["_CB"] = self.cov.hit_branch
 
     # -- plumbing -----------------------------------------------------------
 
@@ -775,6 +787,10 @@ class ProcessCompiler:
     # -- statements ----------------------------------------------------------
 
     def compile_stmt(self, stmt):
+        if self.cov is not None:
+            sid = self.cov.stmt_id.get(id(stmt))
+            if sid is not None:
+                self.emit(f"_CS({sid!r})")
         if isinstance(stmt, ast.Block):
             for inner in stmt.statements:
                 self.compile_stmt(inner)
@@ -787,14 +803,25 @@ class ProcessCompiler:
             # False and None (x) as the else path, so the inline test
             # is just "any definite 1 bit".
             cvar, _ = self.compile_expr(stmt.cond)
+            sid = (
+                self.cov.stmt_id.get(id(stmt))
+                if self.cov is not None else None
+            )
             self.emit(f"if {cvar}.bits:")
             self.indent += 1
+            if sid is not None:
+                self.emit(f"_CB({sid!r}, 'T')")
             self._compile_branch(stmt.then_stmt)
             self.indent -= 1
-            if stmt.else_stmt is not None:
+            if stmt.else_stmt is not None or sid is not None:
+                # With no else body the _CB call alone keeps the
+                # generated else-block non-empty.
                 self.emit("else:")
                 self.indent += 1
-                self._compile_branch(stmt.else_stmt)
+                if sid is not None:
+                    self.emit(f"_CB({sid!r}, 'F')")
+                if stmt.else_stmt is not None:
+                    self._compile_branch(stmt.else_stmt)
                 self.indent -= 1
             return
         if isinstance(stmt, ast.Case):
@@ -834,8 +861,8 @@ class ProcessCompiler:
         default_item = None
         for item in stmt.items:
             if item.is_default:
-                if default_item is None:
-                    default_item = item
+                # Last default wins, matching the interpreter's scan.
+                default_item = item
                 continue
             items.append(item)
 
@@ -858,13 +885,18 @@ class ProcessCompiler:
             and folded
             and len({max(swidth, v.width) for v, _ in folded}) == 1
         ):
-            self._compile_case_dict(svar, swidth, folded, default_item)
+            self._compile_case_dict(stmt, svar, swidth, folded,
+                                    default_item)
             return
         self._compile_case_chain(stmt, svar, swidth, items, default_item)
 
-    def _compile_case_dict(self, svar, swidth, folded, default_item):
+    def _compile_case_dict(self, stmt, svar, swidth, folded, default_item):
         """Constant same-width ``case``: one dict probe over
         ``(bits, xmask)``, arms compiled as sibling closures."""
+        sid = (
+            self.cov.stmt_id.get(id(stmt))
+            if self.cov is not None else None
+        )
         width = max(swidth, folded[0][0].width)
         dispatch = {}
         arm_of = {}
@@ -876,8 +908,14 @@ class ProcessCompiler:
             dispatch.setdefault(key, arm_of[id(item)][0])
         arm_fns = []
         for index, item in sorted(arm_of.values()):
-            arm_fns.append(self._compile_subfunction(item.body,
-                                                     f"case arm {index}"))
+            prelude = []
+            if sid is not None:
+                entry = self.cov.case_arm.get(id(item))
+                if entry is not None:
+                    prelude.append(f"_CB({entry[0]!r}, {entry[1]!r})")
+            arm_fns.append(self._compile_subfunction(
+                item.body, f"case arm {index}", prelude=prelude
+            ))
         table = self.bind(
             {key: arm_fns[arm] for key, arm in dispatch.items()}, "D"
         )
@@ -891,10 +929,15 @@ class ProcessCompiler:
         self.indent += 1
         self.emit(f"{fn}()")
         self.indent -= 1
-        if default_item is not None:
+        if default_item is not None or sid is not None:
+            # With no default body the _CB call alone keeps the
+            # generated else-block non-empty.
             self.emit("else:")
             self.indent += 1
-            self._compile_branch(default_item.body)
+            if sid is not None:
+                self.emit(f"_CB({sid!r}, 'default')")
+            if default_item is not None:
+                self._compile_branch(default_item.body)
             self.indent -= 1
 
     def _compile_case_chain(self, stmt, svar, swidth, items, default_item):
@@ -906,10 +949,18 @@ class ProcessCompiler:
         lines (subject resizes, run-time label evaluation) can precede
         its condition.  Label setup is pure — evaluating it eagerly for
         labels the interpreter would never reach is unobservable."""
+        sid = (
+            self.cov.stmt_id.get(id(stmt))
+            if self.cov is not None else None
+        )
         matched = self.tmp()
         self.emit(f"{matched} = False")
         any_labels = False
         for item in items:
+            arm = (
+                self.cov.case_arm.get(id(item))
+                if sid is not None else None
+            )
             for label_expr in item.labels:
                 any_labels = True
                 cond = self._case_match_code(stmt.kind, svar, swidth,
@@ -917,15 +968,25 @@ class ProcessCompiler:
                 self.emit(f"if not {matched} and {cond}:")
                 self.indent += 1
                 self.emit(f"{matched} = True")
+                if arm is not None:
+                    self.emit(f"_CB({arm[0]!r}, {arm[1]!r})")
                 self._compile_branch(item.body)
                 self.indent -= 1
-        if default_item is not None:
+        if default_item is not None or sid is not None:
             if not any_labels:
-                self._compile_branch(default_item.body)
+                if sid is not None:
+                    self.emit(f"_CB({sid!r}, 'default')")
+                if default_item is not None:
+                    self._compile_branch(default_item.body)
             else:
+                # With no default body the _CB call alone keeps the
+                # generated if-block non-empty.
                 self.emit(f"if not {matched}:")
                 self.indent += 1
-                self._compile_branch(default_item.body)
+                if sid is not None:
+                    self.emit(f"_CB({sid!r}, 'default')")
+                if default_item is not None:
+                    self._compile_branch(default_item.body)
                 self.indent -= 1
 
     def _case_match_code(self, kind, svar, swidth, label_expr):
@@ -976,12 +1037,15 @@ class ProcessCompiler:
         return (f"({sub}.bits & ~{wc}) == ({lab}.bits & ~{wc}) "
                 f"and {sub}.xmask & ~{wc} == 0")
 
-    def _compile_subfunction(self, stmt, label):
+    def _compile_subfunction(self, stmt, label, prelude=()):
         """Compile a statement into a sibling zero-arg closure (case
-        arms for dict dispatch).  Shares the same exec globals."""
+        arms for dict dispatch).  Shares the same exec globals.
+        ``prelude`` lines (e.g. coverage recording) run first."""
         outer_lines, outer_indent = self.lines, self.indent
         self.lines, self.indent = [], 1
         try:
+            for line in prelude:
+                self.emit(line)
             self._compile_branch(stmt)
             body = self.lines
         finally:

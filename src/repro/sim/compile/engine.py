@@ -38,9 +38,16 @@ class CompiledSimulator(Simulator):
 
     backend_name = "compiled"
 
-    def __init__(self, design, trace=True):
+    def __init__(self, design, trace=True, code_coverage=False):
         if isinstance(design, str):
             design = elaborate(design)
+        # The collector must exist before codegen runs: recording
+        # calls are baked into the generated closures.
+        if code_coverage and not hasattr(code_coverage, "hit_stmt"):
+            from repro.cover.code import CodeCoverage
+
+            code_coverage = CodeCoverage(design)
+        self.code_coverage = code_coverage or None
         # Compile before the base constructor runs time-zero processes,
         # so initial/comb bodies already execute compiled.
         self._compiled = {}

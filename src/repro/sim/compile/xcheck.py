@@ -29,15 +29,21 @@ class XCheckSimulator:
 
     backend_name = "xcheck"
 
-    def __init__(self, design, trace=True, top=None):
+    def __init__(self, design, trace=True, top=None, code_coverage=False):
         if not isinstance(design, str):
             raise SimulationError(
                 "the xcheck backend needs Verilog source text (it "
                 "elaborates one design per side); got an elaborated "
                 "object"
             )
-        self.ref = Simulator(elaborate(design, top=top), trace=trace)
-        self.dut = CompiledSimulator(elaborate(design, top=top), trace=trace)
+        # Each side gets its own collector; consumers read the ref
+        # side's map (``self.code_coverage``) while the dut side's is
+        # available for invariance checks (``dut.code_coverage``).
+        self.ref = Simulator(elaborate(design, top=top), trace=trace,
+                             code_coverage=code_coverage)
+        self.dut = CompiledSimulator(elaborate(design, top=top),
+                                     trace=trace,
+                                     code_coverage=code_coverage)
         self.compare_count = 0
         self._compare("construction")
 
@@ -58,6 +64,10 @@ class XCheckSimulator:
     @property
     def trace_enabled(self):
         return self.ref.trace_enabled
+
+    @property
+    def code_coverage(self):
+        return self.ref.code_coverage
 
     @property
     def event_count(self):

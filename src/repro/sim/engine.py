@@ -41,10 +41,18 @@ class Simulator:
     interact with a commercial simulator through the pin interface.
     """
 
-    def __init__(self, design, trace=True):
+    def __init__(self, design, trace=True, code_coverage=False):
         if isinstance(design, str):
             design = elaborate(design)
         self.design = design
+        # Subclasses may pre-attach a collector (the compiled backend
+        # must instrument at codegen time, before this runs).
+        if getattr(self, "code_coverage", None) is None:
+            if code_coverage and not hasattr(code_coverage, "hit_stmt"):
+                from repro.cover.code import CodeCoverage
+
+                code_coverage = CodeCoverage(design)
+            self.code_coverage = code_coverage or None
         self.time = 0
         self.trace_enabled = trace
         self.trace = {}
@@ -295,10 +303,20 @@ class _Executor:
         self.scope = process.scope
         self.nonblocking = process.kind == "seq"
         self.evaluator = Evaluator(self.scope)
+        # Live code-coverage recording covers seq/initial bodies only:
+        # their activations are schedule-invariant.  Comb bodies are
+        # covered by stable-point replay (repro.cover.code), because
+        # live comb counts depend on the backend's scheduler.
+        cov = getattr(simulator, "code_coverage", None)
+        self.cov = cov if (
+            cov is not None and process.kind != "comb"
+        ) else None
 
     # -- statement dispatch -------------------------------------------------------
 
     def execute(self, stmt):
+        if self.cov is not None:
+            self.cov.hit_stmt_node(stmt)
         if isinstance(stmt, ast.Block):
             for inner in stmt.statements:
                 self.execute(inner)
@@ -306,7 +324,10 @@ class _Executor:
             self._execute_assign(stmt)
         elif isinstance(stmt, ast.If):
             cond = self.evaluator.eval(stmt.cond)
-            if cond.is_truthy():
+            taken = bool(cond.is_truthy())
+            if self.cov is not None:
+                self.cov.hit_branch_node(stmt, "T" if taken else "F")
+            if taken:
                 self.execute(stmt.then_stmt)
             elif stmt.else_stmt is not None:
                 self.execute(stmt.else_stmt)
@@ -332,8 +353,14 @@ class _Executor:
                 continue
             for label in item.labels:
                 if self._case_match(stmt.kind, subject, label):
+                    if self.cov is not None:
+                        self.cov.hit_case_item(item)
                     self.execute(item.body)
                     return
+        # No label matched: one "default" outcome, recorded whether or
+        # not a default body exists (branch coverage sees the miss).
+        if self.cov is not None:
+            self.cov.hit_branch_node(stmt, "default")
         if default_item is not None:
             self.execute(default_item.body)
 

@@ -21,24 +21,60 @@ class CoverPoint:
 
     @staticmethod
     def auto(signal, width, bin_count=4):
-        """Quartile bins over the signal's value range + corner bins."""
+        """Quartile bins over the signal's value range + corner bins.
+
+        Bins are pairwise disjoint: the first/last quartiles are
+        trimmed so the dedicated ``(0, 0)`` / ``(top, top)`` corner
+        bins never overlap them (an overlapping sample used to
+        increment several bins at once and inflate ``covered``).
+        Corner bins are still added whenever ``top >= bin_count``;
+        below that every value already gets its own bin.
+        """
         top = (1 << width) - 1
         if top < bin_count:
             bins = [(v, v) for v in range(top + 1)]
         else:
-            step = (top + 1) // bin_count
-            bins = [
-                (i * step, (top if i == bin_count - 1 else (i + 1) * step - 1))
-                for i in range(bin_count)
-            ]
-            bins.append((0, 0))
-            bins.append((top, top))
+            bins = CoverPoint.range_bins(0, top, bin_count)
         return CoverPoint(signal=signal, bins=bins)
 
+    @staticmethod
+    def range_bins(lo, hi, bin_count=4):
+        """Disjoint equal-ish bins over ``[lo, hi]`` plus corner bins.
+
+        The interior bins are trimmed by one value at each end so the
+        single-value corner bins stay disjoint; degenerate (empty)
+        interior bins are dropped.
+        """
+        if hi <= lo:
+            return [(lo, lo)]
+        span = hi - lo + 1
+        if span <= bin_count + 2:
+            return [(v, v) for v in range(lo, hi + 1)]
+        step = span // bin_count
+        bins = []
+        for i in range(bin_count):
+            b_lo = lo + i * step
+            b_hi = hi if i == bin_count - 1 else lo + (i + 1) * step - 1
+            if i == 0:
+                b_lo = max(b_lo, lo + 1)
+            if i == bin_count - 1:
+                b_hi = min(b_hi, hi - 1)
+            if b_lo <= b_hi:
+                bins.append((b_lo, b_hi))
+        return [(lo, lo)] + bins + [(hi, hi)]
+
     def sample(self, value):
+        index = self.bin_index(value)
+        if index is not None:
+            self.hits[index] = self.hits.get(index, 0) + 1
+        return index
+
+    def bin_index(self, value):
+        """Index of the (first) bin containing ``value``, or ``None``."""
         for index, (lo, hi) in enumerate(self.bins):
             if lo <= value <= hi:
-                self.hits[index] = self.hits.get(index, 0) + 1
+                return index
+        return None
 
     @property
     def covered(self):

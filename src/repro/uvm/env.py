@@ -6,7 +6,18 @@ from repro.uvm.scoreboard import Scoreboard
 
 
 class Environment:
-    """Builds and connects all verification components for one DUT run."""
+    """Builds and connects all verification components for one DUT run.
+
+    ``coverage`` accepts the flat :class:`~repro.uvm.coverage.Coverage`
+    collector or a rich :class:`~repro.cover.model.CoverModel`; both
+    expose the same ``sample``/``coverage`` surface.  A model that
+    declares ``probes`` (DUT-internal signals such as an FSM state
+    register) gets them monitored and folded into every sample, which
+    is how transition coverage observes state the transaction fields
+    never carry.  If the simulator carries a code-coverage collector
+    (``make_simulator(code_coverage=True)``), each monitor sample also
+    triggers its stable-point comb replay.
+    """
 
     def __init__(self, simulator, sequence, protocol, reference_model,
                  compare_signals, coverage=None, log=None):
@@ -22,15 +33,24 @@ class Environment:
                     CoverPoint.auto(name, simulator.signal_width(name))
                 )
         self.coverage = coverage
+        self.agent.monitor.probes = list(
+            getattr(coverage, "probes", ())
+        )
 
     def run(self):
         """Execute the sequence; returns the scoreboard."""
         self.scoreboard.reset()
+        if hasattr(self.coverage, "reset_trackers"):
+            self.coverage.reset_trackers()
+        code_coverage = getattr(self.sim, "code_coverage", None)
 
         def per_sample(txn, cycle, time, observed):
             self.scoreboard.check(txn, cycle, time, observed)
-            sample_values = dict(txn.fields)
+            sample_values = dict(observed)
+            sample_values.update(txn.fields)
             self.coverage.sample(sample_values)
+            if code_coverage is not None:
+                code_coverage.sample_stable()
 
         self.agent.run(per_sample)
         return self.scoreboard

@@ -6,16 +6,25 @@ class Monitor:
 
     Produces ``(time, {signal: Value})`` observations; the scoreboard
     consumes these and the raw values also feed functional coverage.
+
+    ``probes`` names additional DUT-internal signals (e.g. an FSM
+    state register) observed for coverage only: they ride along in
+    every observation, and the scoreboard ignores them because it
+    only compares its ``compare_signals``.
     """
 
-    def __init__(self, simulator, signals):
+    def __init__(self, simulator, signals, probes=()):
         self.sim = simulator
         self.signals = list(signals)
+        self.probes = list(probes)
         self.observations = []
 
     def sample(self):
         """Take one observation of all monitored signals."""
         values = {name: self.sim.get(name) for name in self.signals}
+        for name in self.probes:
+            if name not in values:
+                values[name] = self.sim.get(name)
         observation = (self.sim.time, values)
         self.observations.append(observation)
         return observation

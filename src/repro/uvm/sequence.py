@@ -40,9 +40,17 @@ class RandomSequence(Sequence):
     """Constrained-random stimulus.
 
     ``field_ranges`` maps input names to ``(lo, hi)`` inclusive integer
-    range *tuples*, or a *list* of explicit choices.  Corner values
-    (lo, hi) are weighted in because real verification environments
-    bias toward corners.
+    range *tuples*, or a *list* of explicit choices.
+
+    ``corner_weight`` contract: per field, per transaction, with
+    probability ``corner_weight`` the draw is a *corner* draw instead
+    of a uniform one.  For a ``(lo, hi)`` range the corners are ``lo``
+    and ``hi``; for an explicit choice list they are its first and
+    last element (list order is the author's corner ordering, so e.g.
+    a mode list can place its rare modes at the ends).  Single-element
+    choice lists have no corner roll.  Real verification environments
+    bias toward corners because that is where off-by-one and
+    saturation defects live.
     """
 
     name = "random"
@@ -68,7 +76,14 @@ class RandomSequence(Sequence):
                     else:
                         fields[name] = rng.randint(lo, hi)
                 else:
-                    fields[name] = rng.choice(list(spec))
+                    choices = list(spec)
+                    if len(choices) > 1 and \
+                            rng.random() < self.corner_weight:
+                        fields[name] = rng.choice(
+                            [choices[0], choices[-1]]
+                        )
+                    else:
+                        fields[name] = rng.choice(choices)
             yield Transaction(fields, hold_cycles=self.hold_cycles)
 
 

@@ -32,6 +32,10 @@ class TestResult:
     simulator: Optional[Simulator] = None
     error: str = ""
     checked: int = 0
+    #: Serialized coverage counters for the coverage database:
+    #: ``{"functional": CoverModel.to_dict() | None,
+    #:    "code": CodeCoverage.to_dict() | None}``.
+    coverage_detail: dict = field(default_factory=dict)
 
     @property
     def all_passed(self):
@@ -53,10 +57,18 @@ class UVMTest:
     (``interp``/``compiled``/``xcheck``); ``None`` uses the process
     default (see :mod:`repro.sim.backend`), which campaign work units
     scope per unit.
+
+    ``coverage`` overrides the environment's default flat covergroup
+    with a rich :class:`~repro.cover.model.CoverModel` (crosses,
+    transitions, probes); ``code_coverage=True`` additionally attaches
+    a structural :class:`~repro.cover.code.CodeCoverage` collector to
+    the simulator.  Both serialize into ``TestResult.coverage_detail``
+    for the coverage database.
     """
 
     def __init__(self, source, sequence, protocol, reference_model,
-                 compare_signals, top=None, backend=None):
+                 compare_signals, top=None, backend=None, coverage=None,
+                 code_coverage=False):
         self.source = source
         self.sequence = sequence
         self.protocol = protocol
@@ -64,12 +76,15 @@ class UVMTest:
         self.compare_signals = list(compare_signals)
         self.top = top
         self.backend = backend
+        self.coverage = coverage
+        self.code_coverage = code_coverage
 
     def run(self):
         log = UVMLog()
         try:
             simulator = make_simulator(
-                self.source, backend=self.backend, top=self.top
+                self.source, backend=self.backend, top=self.top,
+                code_coverage=self.code_coverage,
             )
         except XCheckDivergence:
             raise  # a backend bug, not a DUT failure: surface loudly
@@ -78,7 +93,7 @@ class UVMTest:
             return TestResult(ok=False, log=log, error=str(exc))
         env = Environment(
             simulator, self.sequence, self.protocol, self.reference_model,
-            self.compare_signals, log=log,
+            self.compare_signals, coverage=self.coverage, log=log,
         )
         try:
             scoreboard = env.run()
@@ -99,14 +114,26 @@ class UVMTest:
             trace=simulator.trace,
             simulator=simulator,
             checked=scoreboard.checked,
+            coverage_detail=self._coverage_detail(env, simulator),
         )
+
+    @staticmethod
+    def _coverage_detail(env, simulator):
+        detail = {}
+        if hasattr(env.coverage, "to_dict"):
+            detail["functional"] = env.coverage.to_dict()
+        code_coverage = getattr(simulator, "code_coverage", None)
+        if code_coverage is not None:
+            detail["code"] = code_coverage.finalize(simulator).to_dict()
+        return detail
 
 
 def run_uvm_test(source, sequence, protocol, reference_model,
-                 compare_signals, top=None, backend=None):
+                 compare_signals, top=None, backend=None, coverage=None,
+                 code_coverage=False):
     """One-shot convenience wrapper around :class:`UVMTest`."""
     test = UVMTest(
         source, sequence, protocol, reference_model, compare_signals, top,
-        backend=backend,
+        backend=backend, coverage=coverage, code_coverage=code_coverage,
     )
     return test.run()

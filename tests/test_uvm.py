@@ -25,6 +25,37 @@ class TestSequences:
         second = [t.fields for t in RandomSequence(spec, 10, seed=1)]
         assert first == second
 
+    def test_choice_fields_get_corner_bias(self):
+        """corner_weight applies to explicit choice lists: the first
+        and last choices are over-represented (they used to get no
+        corner bias at all)."""
+        spec = {"mode": [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]}
+        values = [
+            t.fields["mode"]
+            for t in RandomSequence(spec, 400, seed=3, corner_weight=0.5)
+        ]
+        corner = sum(1 for v in values if v in (0, 9))
+        interior = sum(1 for v in values if v not in (0, 9))
+        # ~50% corner draws + uniform residue vs 20% under no bias.
+        assert corner > 0.4 * len(values)
+        assert interior > 0  # still explores the middle
+
+    def test_choice_corner_bias_full_weight(self):
+        spec = {"mode": [3, 7, 11]}
+        values = {
+            t.fields["mode"]
+            for t in RandomSequence(spec, 50, seed=0, corner_weight=1.0)
+        }
+        assert values == {3, 11}
+
+    def test_single_choice_field_has_no_corner_roll(self):
+        spec = {"mode": [5]}
+        values = {
+            t.fields["mode"]
+            for t in RandomSequence(spec, 10, seed=0, corner_weight=1.0)
+        }
+        assert values == {5}
+
     def test_random_sequence_seed_changes_stream(self):
         spec = {"a": (0, 255)}
         first = [t.fields for t in RandomSequence(spec, 20, seed=1)]
@@ -142,6 +173,67 @@ class TestCoverage:
     def test_auto_bins(self):
         point = CoverPoint.auto("a", width=8)
         assert point.total >= 4
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 4, 5, 8, 12, 16])
+    def test_auto_bins_disjoint_and_complete(self, width):
+        """One sample lands in exactly one bin (the corner bins used
+        to overlap the first/last quartiles and inflate `covered`)."""
+        point = CoverPoint.auto("a", width=width)
+        top = (1 << width) - 1
+        probes = {0, 1, top - 1, top, top // 2, top // 4}
+        for value in probes:
+            if not 0 <= value <= top:
+                continue
+            matches = [
+                i for i, (lo, hi) in enumerate(point.bins)
+                if lo <= value <= hi
+            ]
+            assert len(matches) == 1, (width, value, point.bins)
+
+    def test_auto_bins_have_corner_bins(self):
+        point = CoverPoint.auto("a", width=8)
+        assert (0, 0) in point.bins
+        assert (255, 255) in point.bins
+
+    def test_auto_bins_sample_hits_single_bin(self):
+        point = CoverPoint.auto("a", width=8)
+        point.sample(0)
+        assert point.covered == 1
+
+    def test_sample_with_x_state_is_skipped(self):
+        from repro.sim.values import Value
+
+        point = CoverPoint.auto("a", width=4)
+        coverage = Coverage([point])
+        coverage.sample({"a": Value.all_x(4)})
+        assert point.covered == 0
+        coverage.sample({"a": Value(3, 4)})
+        assert point.covered == 1
+
+    def test_sample_missing_signal_is_skipped(self):
+        point = CoverPoint.auto("a", width=4)
+        coverage = Coverage([point])
+        coverage.sample({"b": 3})
+        assert point.covered == 0
+
+    def test_empty_covergroup_is_fully_covered(self):
+        coverage = Coverage()
+        assert coverage.coverage == 1.0
+        coverage.sample({"a": 1})  # no points: a silent no-op
+        assert "TOTAL: 100.0%" in coverage.report()
+
+    def test_point_with_no_bins_is_fully_covered(self):
+        point = CoverPoint("a", bins=[])
+        assert point.coverage == 1.0
+
+    def test_report_formatting(self):
+        point = CoverPoint("a", bins=[(0, 0), (1, 14), (15, 15)])
+        coverage = Coverage([point])
+        coverage.sample({"a": 0})
+        coverage.sample({"a": 7})
+        report = coverage.report()
+        assert "coverpoint a: 2/3 bins (66.7%)" in report
+        assert report.splitlines()[-1] == "TOTAL: 66.7%"
 
     def test_sampling(self):
         point = CoverPoint.auto("a", width=4)
