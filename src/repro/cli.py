@@ -18,7 +18,14 @@ Commands:
   runs also drop their partition into a per-grid slot under
   ``<cache-dir>/coverage/`` for cross-host merging);
 - ``coverage <db.json ...>`` — union-merge coverage databases and
-  report totals, per-module bins and (``--holes``) uncovered bins.
+  report totals, per-module bins and (``--holes``) uncovered bins;
+- ``fuzz`` — differential fuzzing: generate seeded random designs
+  and run each through the xcheck lockstep + printer round-trip +
+  coverage-parity oracle; failures are delta-debugged to minimal
+  reproducers (written to ``--artifact-dir`` and promotable into
+  ``tests/corpus/``).  Units are content-hashed like campaign units,
+  so ``--cache-dir`` makes fuzz runs resumable and ``--shard i/n``
+  splits them across hosts.
 """
 
 import argparse
@@ -320,6 +327,81 @@ def _holes_from_model(model):
     return holes_of(model)
 
 
+def _cmd_fuzz(args):
+    from repro.fuzz.campaign import run_fuzz
+    from repro.fuzz.corpus import make_entry, save_reproducer
+    from repro.fuzz.shrink import shrink
+    from repro.runner import parse_shard
+    from repro.runner.scheduler import default_jobs
+
+    shard = None
+    if args.shard:
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    summary = run_fuzz(
+        args.count, seed=args.seed, cycles=args.cycles, jobs=jobs,
+        cache_dir=args.cache_dir, shard=shard,
+        time_budget=args.time_budget, show_progress=True,
+    )
+    print(f"fuzz: {summary['run']}/{summary['count']} designs "
+          f"({summary['cached']} cached, "
+          f"{summary['skipped_by_budget']} skipped by budget) in "
+          f"{summary['elapsed']:.1f}s")
+    features = summary["features"]
+    if features:
+        top = ", ".join(f"{k}:{v}" for k, v in sorted(features.items()))
+        print(f"feature coverage: {top}")
+
+    failures = summary["failures"]
+    if not failures:
+        print("no divergences found")
+        return 0
+    print(f"{len(failures)} failing design(s):", file=sys.stderr)
+    for verdict in failures:
+        kind = verdict["failure"]["kind"]
+        source = verdict["source"]
+        ops = [tuple(op) for op in verdict["ops"]]
+        print(f"  seed {verdict['design_seed']}: {kind} — "
+              f"{verdict['failure']['detail'][:200]}", file=sys.stderr)
+        if args.shrink:
+            result = shrink(source, ops, kind)
+            print(f"    shrunk {len(source)} -> {len(result.source)} "
+                  f"chars, {len(ops)} -> {len(result.ops)} ops "
+                  f"({result.checks} oracle checks)", file=sys.stderr)
+            source, ops = result.source, result.ops
+        # A freshly-found failure still reproduces, so the entry is
+        # written with expect="fail"; after fixing the bug, flip it
+        # to "pass" when promoting into tests/corpus (the content
+        # address hashes kind/source/ops only, so the filename
+        # stays valid).
+        entry = make_entry(
+            kind, source, ops,
+            description=verdict["failure"]["detail"][:500],
+            origin={
+                "design_seed": verdict["design_seed"],
+                "stim_seed": verdict["stim_seed"],
+                "cycles": verdict["cycles"],
+                "generator_version": _generator_version(),
+            },
+            expect="fail",
+        )
+        for directory in filter(None, (args.artifact_dir,
+                                       args.corpus_dir)):
+            path = save_reproducer(entry, directory)
+            print(f"    reproducer saved to {path}", file=sys.stderr)
+    return 1
+
+
+def _generator_version():
+    from repro.fuzz.generate import GENERATOR_VERSION
+
+    return GENERATOR_VERSION
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro", description="UVLLM reproduction CLI"
@@ -415,6 +497,37 @@ def build_parser():
                           help="exit 1 if merged functional coverage "
                                "falls below PCT")
     coverage.set_defaults(func=_cmd_coverage)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the simulation stack",
+    )
+    fuzz.add_argument("--count", type=int, default=100,
+                      help="number of random designs")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="first design seed (designs use seed..seed+N)")
+    fuzz.add_argument("--cycles", type=int, default=24,
+                      help="stimulus cycles per design")
+    fuzz.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (0 = auto)")
+    fuzz.add_argument("--cache-dir", default=None,
+                      help="memoize verdicts here (resumable runs)")
+    fuzz.add_argument("--shard", default=None, metavar="i/n",
+                      help="run the i-th of n round-robin shards")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop dispatching new designs after this "
+                           "long (finished units stay cached)")
+    fuzz.add_argument("--no-shrink", dest="shrink",
+                      action="store_false",
+                      help="skip delta-debugging of failures")
+    fuzz.add_argument("--artifact-dir", default=None,
+                      help="write minimized failing reproducers here "
+                           "(CI uploads them as artifacts)")
+    fuzz.add_argument("--corpus-dir", default=None,
+                      help="also save reproducers into this corpus "
+                           "directory (e.g. tests/corpus)")
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,44 @@
+"""Differential RTL fuzzing.
+
+Grammar-directed generative testing for the whole HDL/simulation
+stack: :mod:`repro.fuzz.generate` emits seeded random designs over the
+full supported Verilog subset, :mod:`repro.fuzz.oracle` runs each one
+as a self-checking experiment (interp/compiled lockstep via the
+``xcheck`` backend, printer round-trip, code-coverage parity),
+:mod:`repro.fuzz.shrink` delta-debugs any failure down to a small
+reproducer, and :mod:`repro.fuzz.corpus` persists minimized
+reproducers under ``tests/corpus/`` where a parametrized pytest
+replays them forever.
+
+Entry points: ``python -m repro.cli fuzz`` for campaigns (content-
+hashed, cache-resumable units through the shared runner scheduler),
+:func:`repro.fuzz.campaign.run_fuzz` programmatically.
+"""
+
+from repro.fuzz.campaign import (
+    FUZZ_SCHEMA_VERSION,
+    FuzzUnit,
+    execute_fuzz_unit,
+    expand_fuzz,
+    run_fuzz,
+)
+from repro.fuzz.corpus import load_corpus, replay_entry, save_reproducer
+from repro.fuzz.generate import GENERATOR_VERSION, generate_design
+from repro.fuzz.oracle import design_signature, gen_stimulus, run_oracle
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "FUZZ_SCHEMA_VERSION",
+    "FuzzUnit",
+    "GENERATOR_VERSION",
+    "design_signature",
+    "execute_fuzz_unit",
+    "expand_fuzz",
+    "gen_stimulus",
+    "generate_design",
+    "load_corpus",
+    "replay_entry",
+    "run_fuzz",
+    "save_reproducer",
+    "shrink",
+]

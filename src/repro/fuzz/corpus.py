@@ -1,0 +1,106 @@
+"""The checked-in regression corpus.
+
+Every minimized reproducer the fuzzer (or a human) deems worth
+keeping lives as one JSON file under ``tests/corpus/``, where
+``tests/test_fuzz_corpus.py`` collects and replays them forever: a
+bug fixed once stays fixed.  Entries are content-addressed
+(``<kind>-<sha12>.json``) so re-saving an identical reproducer is a
+no-op and two shrunk variants of the same bug do not collide.
+
+An entry records everything replay needs — the minimized source, the
+exact stimulus op list, the expected oracle outcome — plus
+provenance (generator version, originating seeds) so a future session
+can regenerate context.  ``expect`` is ``"pass"`` for regression
+entries (the bug is fixed; the oracle must stay green) — the only
+kind a healthy tree carries.  Fresh reproducers leave the fuzzer
+with ``expect: "fail"`` (the bug still reproduces); flip the field
+to ``"pass"`` when promoting after the fix — the content address
+hashes only kind/source/ops, so the filename stays valid.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.fuzz.oracle import run_oracle
+
+CORPUS_SCHEMA = 1
+
+#: Default location, resolved relative to the repository layout
+#: (``src/repro/fuzz/corpus.py`` -> ``tests/corpus``).
+DEFAULT_CORPUS_DIR = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), "..", "..", "..", "tests", "corpus",
+))
+
+
+def entry_id(entry):
+    """Content hash over the fields that define the reproducer."""
+    payload = json.dumps(
+        {
+            "kind": entry["kind"],
+            "source": entry["source"],
+            "ops": [list(op) for op in entry["ops"]],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def make_entry(kind, source, ops, description="", origin=None,
+               expect="pass"):
+    """Assemble a corpus entry dict (JSON-pure)."""
+    return {
+        "schema": CORPUS_SCHEMA,
+        "kind": kind,
+        "description": description,
+        "expect": expect,
+        "source": source,
+        "ops": [list(op) for op in ops],
+        "origin": dict(origin or {}),
+    }
+
+
+def save_reproducer(entry, corpus_dir=None):
+    """Write ``entry`` under the corpus directory; returns its path."""
+    corpus_dir = corpus_dir or DEFAULT_CORPUS_DIR
+    os.makedirs(corpus_dir, exist_ok=True)
+    slug = "".join(
+        ch if ch.isalnum() or ch == "-" else "-"
+        for ch in entry["kind"]
+    )
+    name = f"{slug}-{entry_id(entry)}.json"
+    path = os.path.join(corpus_dir, name)
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(corpus_dir=None):
+    """All corpus entries, sorted by filename; each carries ``_file``."""
+    corpus_dir = corpus_dir or DEFAULT_CORPUS_DIR
+    entries = []
+    if not os.path.isdir(corpus_dir):
+        return entries
+    for name in sorted(os.listdir(corpus_dir)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(corpus_dir, name)) as handle:
+            entry = json.load(handle)
+        if entry.get("schema") != CORPUS_SCHEMA:
+            raise ValueError(
+                f"corpus entry {name} has schema "
+                f"{entry.get('schema')!r}, expected {CORPUS_SCHEMA}"
+            )
+        entry["_file"] = name
+        entries.append(entry)
+    return entries
+
+
+def replay_entry(entry):
+    """Re-run the oracle on a corpus entry.
+
+    Returns the failure (or ``None``); the regression test asserts it
+    matches the entry's ``expect`` field."""
+    ops = [tuple(op) for op in entry["ops"]]
+    return run_oracle(entry["source"], ops)

@@ -1,0 +1,259 @@
+"""Delta-debugging reducer for failing fuzz cases.
+
+Minimizes a ``(source, stimulus)`` pair while preserving the failure
+*signature* — the oracle's ``kind`` string — so a shrunk reproducer
+demonstrably exhibits the same class of bug as the original.  The
+reduction loop is deterministic (ordered candidate enumeration,
+greedy first-improvement) and runs to a fixpoint or budget:
+
+- **stimulus** is ddmin'd as a flat op list (halves, then quarters,
+  … then single ops);
+- **module items** are dropped one at a time (declarations whose
+  removal degrades a net to an implicit 1-bit wire are fine as long
+  as the failure kind survives — the checker is the arbiter);
+- **whole leaf modules** are dropped together with their instances;
+- **statements** are simplified structurally: a block statement is
+  deleted, an ``if`` collapses to one branch, a ``case`` to one arm
+  body, a loop to its body;
+- **expressions** collapse to an operand (binary → left/right,
+  ternary → branch, concat → part, call/select → base).
+
+Every candidate is re-printed and re-checked through the real
+oracle, so the reducer can never "minimize" into a different bug
+without noticing.
+"""
+
+import copy
+from dataclasses import dataclass, fields
+from typing import List, Tuple
+
+from repro.hdl import ast
+from repro.hdl.errors import HdlSyntaxError
+from repro.hdl.parser import parse_source
+from repro.hdl.printer import print_module
+from repro.fuzz.oracle import run_oracle
+
+_MAX_CHECKS = 2000
+
+
+@dataclass
+class ShrinkResult:
+    source: str
+    ops: List[Tuple]
+    kind: str
+    checks: int
+    rounds: int
+
+
+def _print_file(source_file):
+    return "\n".join(print_module(m) for m in source_file.modules)
+
+
+def shrink(source, ops, kind, check=None, max_checks=_MAX_CHECKS):
+    """Minimize ``(source, ops)`` preserving failure ``kind``.
+
+    ``check(source, ops)`` returns a failure object with a ``kind``
+    attribute or ``None``; it defaults to the full oracle."""
+    check = check or run_oracle
+    state = _Shrinker(check, kind, max_checks)
+    ops = state.reduce_ops(source, list(ops))
+    best = source
+    rounds = 0
+    improved = True
+    while improved and state.budget_left():
+        rounds += 1
+        improved = False
+        smaller = state.reduce_source(best, ops)
+        if smaller is not None:
+            best = smaller
+            improved = True
+        fewer = state.reduce_ops(best, ops)
+        if len(fewer) < len(ops):
+            ops = fewer
+            improved = True
+    return ShrinkResult(source=best, ops=ops, kind=kind,
+                        checks=state.checks, rounds=rounds)
+
+
+class _Shrinker:
+    def __init__(self, check, kind, max_checks):
+        self.check = check
+        self.kind = kind
+        self.max_checks = max_checks
+        self.checks = 0
+
+    def budget_left(self):
+        return self.checks < self.max_checks
+
+    def still_fails(self, source, ops):
+        if not self.budget_left():
+            return False
+        self.checks += 1
+        try:
+            failure = self.check(source, ops)
+        except Exception:
+            # A reducer must never crash on a degenerate candidate.
+            return False
+        return failure is not None and failure.kind == self.kind
+
+    # -- stimulus ------------------------------------------------------------
+
+    def reduce_ops(self, source, ops):
+        """Classic ddmin over the op list."""
+        chunk = max(1, len(ops) // 2)
+        while chunk >= 1 and self.budget_left():
+            index = 0
+            while index < len(ops) and self.budget_left():
+                candidate = ops[:index] + ops[index + chunk:]
+                if candidate != ops and self.still_fails(source, candidate):
+                    ops = candidate
+                else:
+                    index += chunk
+            if chunk == 1:
+                break
+            chunk //= 2
+        return ops
+
+    # -- source --------------------------------------------------------------
+
+    def reduce_source(self, source, ops):
+        """One greedy pass over structural candidates; first smaller
+        source that still fails wins (or ``None`` if none do)."""
+        try:
+            tree = parse_source(source)
+        except HdlSyntaxError:
+            return None
+        for candidate in self._candidates(tree):
+            text = _print_file(candidate)
+            if len(text) < len(source) and self.still_fails(text, ops):
+                return text
+            if not self.budget_left():
+                return None
+        return None
+
+    def _candidates(self, tree):
+        """Yield reduced deep copies of ``tree``, most aggressive
+        first (drop modules, then items, then statements, then
+        expression collapses)."""
+        # Drop non-top modules (the top is the last module).
+        for index in range(len(tree.modules) - 1):
+            clone = copy.deepcopy(tree)
+            del clone.modules[index]
+            yield clone
+        for m_index, module in enumerate(tree.modules):
+            for i_index in range(len(module.items)):
+                clone = copy.deepcopy(tree)
+                del clone.modules[m_index].items[i_index]
+                yield clone
+        for path in _stmt_paths(tree):
+            yield from self._stmt_reductions(tree, path)
+        for path in _expr_paths(tree):
+            yield from self._expr_reductions(tree, path)
+
+    def _stmt_reductions(self, tree, path):
+        node = _resolve(tree, path)
+        if isinstance(node, ast.Block):
+            for index in range(len(node.statements)):
+                clone = copy.deepcopy(tree)
+                del _resolve(clone, path).statements[index]
+                yield clone
+        elif isinstance(node, ast.If):
+            for repl in ("then_stmt", "else_stmt"):
+                branch = getattr(node, repl)
+                if branch is not None:
+                    clone = copy.deepcopy(tree)
+                    _replace(clone, path,
+                             copy.deepcopy(branch))
+                    yield clone
+            if node.else_stmt is not None:
+                clone = copy.deepcopy(tree)
+                _resolve(clone, path).else_stmt = None
+                yield clone
+        elif isinstance(node, ast.Case):
+            for item in node.items:
+                clone = copy.deepcopy(tree)
+                _replace(clone, path, copy.deepcopy(item.body))
+                yield clone
+            if len(node.items) > 1:
+                for index in range(len(node.items)):
+                    clone = copy.deepcopy(tree)
+                    del _resolve(clone, path).items[index]
+                    yield clone
+        elif isinstance(node, (ast.For, ast.While)):
+            clone = copy.deepcopy(tree)
+            _replace(clone, path, copy.deepcopy(node.body))
+            yield clone
+
+    def _expr_reductions(self, tree, path):
+        node = _resolve(tree, path)
+        replacements = []
+        if isinstance(node, ast.Binary):
+            replacements = [node.left, node.right]
+        elif isinstance(node, ast.Unary):
+            replacements = [node.operand]
+        elif isinstance(node, ast.Ternary):
+            replacements = [node.then, node.otherwise, node.cond]
+        elif isinstance(node, ast.Concat) and len(node.parts) > 1:
+            replacements = list(node.parts)
+        elif isinstance(node, ast.Repeat):
+            replacements = [node.value]
+        elif isinstance(node, ast.FunctionCall) and node.args:
+            replacements = [node.args[0]]
+        elif isinstance(node, (ast.Index, ast.PartSelect)):
+            replacements = [node.base]
+        for repl in replacements:
+            clone = copy.deepcopy(tree)
+            _replace(clone, path, copy.deepcopy(repl))
+            yield clone
+
+
+# -- AST paths ----------------------------------------------------------------
+#
+# A path is a list of (field_name, index_or_None) steps from the
+# SourceFile root; it survives deep copies, which node identities
+# do not.
+
+
+def _child_slots(node):
+    """Yield (field, index, child) for every direct child node."""
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, ast.Node):
+            yield f.name, None, value
+        elif isinstance(value, (list, tuple)):
+            for index, item in enumerate(value):
+                if isinstance(item, ast.Node):
+                    yield f.name, index, item
+
+
+def _walk_paths(node, path):
+    yield path, node
+    for field_name, index, child in _child_slots(node):
+        yield from _walk_paths(child, path + [(field_name, index)])
+
+
+def _stmt_paths(tree):
+    return [path for path, node in _walk_paths(tree, [])
+            if isinstance(node, ast.Stmt)]
+
+
+def _expr_paths(tree):
+    return [path for path, node in _walk_paths(tree, [])
+            if isinstance(node, ast.Expr)]
+
+
+def _resolve(tree, path):
+    node = tree
+    for field_name, index in path:
+        value = getattr(node, field_name)
+        node = value if index is None else value[index]
+    return node
+
+
+def _replace(tree, path, new_node):
+    parent = _resolve(tree, path[:-1])
+    field_name, index = path[-1]
+    if index is None:
+        setattr(parent, field_name, new_node)
+    else:
+        getattr(parent, field_name)[index] = new_node

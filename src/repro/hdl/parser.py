@@ -25,7 +25,7 @@ _BINARY_PRECEDENCE = {
     "**": 11,
 }
 
-_UNARY_OPS = {"+", "-", "!", "~", "&", "|", "^", "~&", "~|", "~^"}
+_UNARY_OPS = {"+", "-", "!", "~", "&", "|", "^", "~&", "~|", "~^", "^~"}
 
 _BASE_RADIX = {"b": 2, "o": 8, "d": 10, "h": 16}
 

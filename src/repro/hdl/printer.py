@@ -18,7 +18,13 @@ def print_expr(expr):
     if isinstance(expr, ast.Identifier):
         return expr.name
     if isinstance(expr, ast.Unary):
-        return f"{expr.op}{_wrap(expr.operand)}"
+        operand = _wrap(expr.operand)
+        if isinstance(expr.operand, ast.Unary):
+            # Adjacent unary operators can glue into a different
+            # two-char token on re-lex (`^` + `~x` -> `^~x`), so a
+            # nested unary operand is always parenthesized.
+            operand = f"({operand})"
+        return f"{expr.op}{operand}"
     if isinstance(expr, ast.Binary):
         return f"{_wrap(expr.left)} {expr.op} {_wrap(expr.right)}"
     if isinstance(expr, ast.Ternary):

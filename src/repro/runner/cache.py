@@ -41,11 +41,24 @@ def record_from_dict(data):
 
 
 class ResultCache:
-    """Content-addressed store of finished campaign work units."""
+    """Content-addressed store of finished work-unit results.
 
-    def __init__(self, cache_dir):
+    The default codec round-trips campaign ``InstanceRecord``\\ s; other
+    unit families (the fuzz campaign stores plain verdict dicts under
+    ``subdir="fuzz"``) plug in their own ``encode``/``decode`` pair and
+    subdirectory so different result schemas never share a namespace.
+    ``schema`` overrides the version stamp checked on reads — families
+    whose payloads evolve independently of the campaign record schema
+    pass their own.
+    """
+
+    def __init__(self, cache_dir, subdir="units", encode=None, decode=None,
+                 schema=CACHE_SCHEMA_VERSION):
         self.root = os.fspath(cache_dir)
-        self.unit_dir = os.path.join(self.root, "units")
+        self.unit_dir = os.path.join(self.root, subdir)
+        self.encode = encode if encode is not None else record_to_dict
+        self.decode = decode if decode is not None else record_from_dict
+        self.schema = schema
         os.makedirs(self.unit_dir, exist_ok=True)
         self.hits = 0
         self.misses = 0
@@ -59,9 +72,9 @@ class ResultCache:
         try:
             with open(self._path(key)) as handle:
                 payload = json.load(handle)
-            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            if payload.get("schema") != self.schema:
                 raise ValueError("schema mismatch")
-            record = record_from_dict(payload["record"])
+            record = self.decode(payload["record"])
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
@@ -71,9 +84,9 @@ class ResultCache:
     def put(self, key, record):
         """Atomically persist ``record`` under ``key``."""
         payload = {
-            "schema": CACHE_SCHEMA_VERSION,
+            "schema": self.schema,
             "key": key,
-            "record": record_to_dict(record),
+            "record": self.encode(record),
         }
         _atomic_write_json(self._path(key), payload, self.unit_dir)
         self.writes += 1

@@ -33,12 +33,20 @@ def execute_unit(unit):
 
 
 class CampaignRunner:
-    """Executes a list of work units with caching and parallelism."""
+    """Executes a list of work units with caching and parallelism.
 
-    def __init__(self, jobs=1, cache=None, reporter=None):
+    ``executor`` is the unit-execution primitive — any picklable
+    module-level callable taking one unit (the default runs campaign
+    work units through the experiments layer; the fuzz campaign passes
+    :func:`repro.fuzz.campaign.execute_fuzz_unit`).  Units only need a
+    ``cache_key()`` method when a cache is attached.
+    """
+
+    def __init__(self, jobs=1, cache=None, reporter=None, executor=None):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.reporter = reporter
+        self.executor = executor if executor is not None else execute_unit
 
     def run(self, units, progress=None):
         """Execute ``units``; returns records in the same order.
@@ -67,7 +75,9 @@ class CampaignRunner:
                 if self.cache is not None else None
             )
             if record is not None:
-                _restamp(record, unit.instance)
+                instance = getattr(units[position], "instance", None)
+                if instance is not None:
+                    _restamp(record, instance)
                 results[position] = record
                 advance(True)
             else:
@@ -75,7 +85,7 @@ class CampaignRunner:
 
         if pending and self.jobs == 1:
             for position in pending:
-                results[position] = execute_unit(units[position])
+                results[position] = self.executor(units[position])
                 self._store(units[position], results[position])
                 advance(False)
         elif pending:
@@ -85,7 +95,7 @@ class CampaignRunner:
                 max_workers=workers
             ) as pool:
                 futures = {
-                    pool.submit(execute_unit, units[position]): position
+                    pool.submit(self.executor, units[position]): position
                     for position in pending
                 }
                 for future in concurrent.futures.as_completed(futures):
@@ -137,18 +147,24 @@ def _restamp(record, instance):
 
 
 def run_units(units, jobs=1, cache_dir=None, progress=None,
-              show_progress=False, reporter=None):
+              show_progress=False, reporter=None, cache=None,
+              executor=None):
     """Convenience front door used by the experiment drivers.
 
-    ``cache_dir`` of ``None`` disables memoization; ``show_progress``
-    attaches a stderr :class:`ProgressReporter` (explicit ``reporter``
-    wins).
+    ``cache_dir`` of ``None`` disables memoization; an explicit
+    ``cache`` object (any ``get``/``put`` store, e.g. a
+    :class:`ResultCache` with a custom codec) wins over ``cache_dir``.
+    ``show_progress`` attaches a stderr :class:`ProgressReporter`
+    (explicit ``reporter`` wins); ``executor`` overrides the campaign
+    unit-execution primitive.
     """
     units = list(units)
-    cache = ResultCache(cache_dir) if cache_dir else None
+    if cache is None and cache_dir:
+        cache = ResultCache(cache_dir)
     if reporter is None and show_progress and units:
         reporter = ProgressReporter(len(units))
-    runner = CampaignRunner(jobs=jobs, cache=cache, reporter=reporter)
+    runner = CampaignRunner(jobs=jobs, cache=cache, reporter=reporter,
+                            executor=executor)
     return runner.run(units, progress=progress)
 
 

@@ -257,7 +257,7 @@ class ProcessCompiler:
             entry = self.resolve_read(expr.name)
             return entry.width
         if isinstance(expr, ast.Unary):
-            if expr.op in ("&", "|", "^", "~&", "~|", "~^", "!"):
+            if expr.op in ("&", "|", "^", "~&", "~|", "~^", "^~", "!"):
                 return 1
             return self.self_width(expr.operand)
         if isinstance(expr, ast.Binary):
@@ -399,13 +399,14 @@ class ProcessCompiler:
 
     def _compile_unary(self, expr, ctx_width):
         op = expr.op
-        if op in ("&", "~&", "|", "~|", "^", "~^"):
+        if op in ("&", "~&", "|", "~|", "^", "~^", "^~"):
             var, _ = self.compile_expr(expr.operand)
             reduce = {"&": "reduce_and", "~&": "reduce_and",
                       "|": "reduce_or", "~|": "reduce_or",
-                      "^": "reduce_xor", "~^": "reduce_xor"}[op]
+                      "^": "reduce_xor", "~^": "reduce_xor",
+                      "^~": "reduce_xor"}[op]
             out = self.tmp()
-            if op.startswith("~"):
+            if op in ("~&", "~|", "~^", "^~"):
                 self.emit(f"{out} = {var}.{reduce}().bit_not().resize(1)")
             else:
                 self.emit(f"{out} = {var}.{reduce}()")

@@ -135,6 +135,14 @@ class XCheckSimulator:
                 f"interp={self.ref.time} compiled={self.dut.time}"
             )
         dut_signals = self.dut.design.signals
+        if len(dut_signals) != len(self.ref.design.signals):
+            extra = sorted(
+                set(dut_signals) ^ set(self.ref.design.signals)
+            )
+            raise XCheckDivergence(
+                f"xcheck: signal sets diverged after {context}: "
+                f"only on one side: {extra[:8]}"
+            )
         for name, ref_signal in self.ref.design.signals.items():
             dut_signal = dut_signals.get(name)
             if dut_signal is None:

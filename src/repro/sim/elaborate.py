@@ -268,7 +268,38 @@ class _ModuleElaborator:
 
     # -- processes ---------------------------------------------------------------
 
+    def _declare_identifiers(self, *nodes):
+        """Implicit-wire every undeclared identifier under ``nodes``.
+
+        Declaration must happen at elaboration time, not lazily at
+        first execution: the codegen backend resolves every name when
+        it compiles a process body, so a lazily-declared implicit
+        wire would exist from t=0 on the compiled backend but only
+        from its first read on the interpreter — skewing the seeded
+        trace key set (and with it toggle coverage) between backends.
+        """
+        names = set()
+        for node in nodes:
+            if node is not None:
+                names |= _collect_identifiers(node)
+        for name in sorted(names):
+            if self.scope.lookup(name) is None:
+                self.scope.declare_implicit(name)
+
     def _build_processes(self):
+        for item in self.module.items:
+            if isinstance(item, (ast.ContinuousAssign, ast.Initial)):
+                self._declare_identifiers(
+                    getattr(item, "target", None),
+                    getattr(item, "value", None),
+                    getattr(item, "body", None),
+                )
+            elif isinstance(item, ast.Always):
+                self._declare_identifiers(item.body)
+            elif isinstance(item, ast.Instance):
+                self._declare_identifiers(
+                    *[conn.expr for conn in item.connections]
+                )
         for item in self.module.items:
             if isinstance(item, ast.ContinuousAssign):
                 stmt = ast.Assign(

@@ -85,7 +85,7 @@ class Evaluator:
         if isinstance(expr, ast.Identifier):
             return self.resolver.width_of(expr.name)
         if isinstance(expr, ast.Unary):
-            if expr.op in ("&", "|", "^", "~&", "~|", "~^", "!"):
+            if expr.op in ("&", "|", "^", "~&", "~|", "~^", "^~", "!"):
                 return 1
             return self.self_width(expr.operand)
         if isinstance(expr, ast.Binary):
@@ -222,9 +222,9 @@ class Evaluator:
         if op in ("|", "~|"):
             value = self.eval(expr.operand).reduce_or()
             return value.bit_not().resize(1) if op == "~|" else value
-        if op in ("^", "~^"):
+        if op in ("^", "~^", "^~"):
             value = self.eval(expr.operand).reduce_xor()
-            return value.bit_not().resize(1) if op == "~^" else value
+            return value.bit_not().resize(1) if op != "^" else value
         if op == "!":
             truth = self.eval(expr.operand).is_truthy()
             if truth is None:
@@ -324,6 +324,7 @@ class Evaluator:
 
     def _eval_part_select(self, expr, ctx_width):
         base_value = self.eval(expr.base)
+        result = None
         if expr.mode == ":":
             msb = self.const_or_runtime_int(expr.msb)
             lsb = self.const_or_runtime_int(expr.lsb)
@@ -331,15 +332,21 @@ class Evaluator:
             start = self.const_or_runtime_int(expr.msb)
             width = self.const_or_runtime_int(expr.lsb) or 1
             if start is None:
-                return Value.all_x(width)
-            lsb, msb = start, start + width - 1
+                # An x base index reads as all-x at the select's own
+                # width; the context extension below must still apply
+                # (the compiled backend extends uniformly).
+                result = Value.all_x(width)
+            else:
+                lsb, msb = start, start + width - 1
         else:  # "-:"
             start = self.const_or_runtime_int(expr.msb)
             width = self.const_or_runtime_int(expr.lsb) or 1
             if start is None:
-                return Value.all_x(width)
-            msb, lsb = start, start - width + 1
-        result = base_value.select_range(msb, lsb)
+                result = Value.all_x(width)
+            else:
+                msb, lsb = start, start - width + 1
+        if result is None:
+            result = base_value.select_range(msb, lsb)
         if ctx_width and ctx_width > result.width:
             return result.resize(ctx_width)
         return result

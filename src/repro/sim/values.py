@@ -259,6 +259,11 @@ class Value:
             return Value.all_x(width)
         a = self.resize(width)
         n = amount.bits
+        if n >= width:
+            # Every bit is shifted out; clamping also stops a huge
+            # runtime amount (e.g. a 32-bit operand) from allocating
+            # a multi-gigabit intermediate integer.
+            return Value(0, width)
         return Value(a.bits << n, width, (a.xmask << n) & _mask(width))
 
     def shr(self, amount, width=None, arithmetic=False):
@@ -266,7 +271,9 @@ class Value:
         if amount.has_x:
             return Value.all_x(width)
         a = self.resize(width)
-        n = amount.bits
+        # Python right-shifts by huge amounts cheaply, but clamping
+        # keeps the two shift directions symmetric.
+        n = min(amount.bits, width)
         if arithmetic and self.signed:
             return Value(a.to_signed_int() >> n, width, a.xmask >> n,
                          signed=True)

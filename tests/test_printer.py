@@ -114,6 +114,27 @@ class TestBenchmarkRoundtrips:
         reparsed = parse_source(printed)
         assert len(reparsed.modules) == len(parsed.modules)
 
+    @pytest.mark.parametrize(
+        "name", [b.name for b in all_modules()]
+    )
+    def test_benchmark_roundtrip_elaborates_identically(self, name):
+        """print(parse(src)) must re-elaborate to the same design
+        signature (signals/widths/memories/ports/process shapes) and
+        re-print to a fixpoint."""
+        from repro.bench import get_module
+        from repro.fuzz.oracle import design_signature
+        from repro.sim.elaborate import elaborate
+
+        bench = get_module(name)
+        parsed = parse_source(bench.source)
+        printed = "\n".join(print_module(m) for m in parsed.modules)
+        reparsed = parse_source(printed)
+        reprinted = "\n".join(print_module(m) for m in reparsed.modules)
+        assert printed == reprinted
+        original = design_signature(elaborate(parsed, top=bench.top))
+        roundtrip = design_signature(elaborate(reparsed, top=bench.top))
+        assert original == roundtrip
+
     def test_roundtrip_behaviour_preserved(self):
         from repro.bench import get_module, make_hr_sequence
         from repro.uvm import run_uvm_test
@@ -126,6 +147,79 @@ class TestBenchmarkRoundtrips:
             bench.compare_signals,
         )
         assert result.all_passed
+
+
+class TestMutantRoundtrips:
+    """Every errgen mutant family's output must round-trip through
+    the printer whenever it parses at all (syntax-class mutants whose
+    point is to not parse are asserted unparseable both before and
+    after any print attempt)."""
+
+    # adder_16bit is the hierarchical probe: port_mismatch only has
+    # sites on designs with instances.
+    _MODULES = ("counter_12", "alu", "sync_fifo", "fsm_seq",
+                "adder_16bit")
+
+    @pytest.mark.parametrize(
+        "operator", [
+            op.name for op in __import__(
+                "repro.errgen.mutations", fromlist=["ALL_OPERATORS"]
+            ).ALL_OPERATORS
+        ]
+    )
+    def test_mutant_family_roundtrip(self, operator):
+        from repro.bench import get_module
+        from repro.errgen.mutations import ALL_OPERATORS
+        from repro.fuzz.oracle import design_signature
+        from repro.hdl.errors import (
+            HdlElaborationError,
+            HdlSyntaxError,
+        )
+        from repro.sim.elaborate import elaborate
+        from repro.sim.eval import EvalError
+
+        op = next(o for o in ALL_OPERATORS if o.name == operator)
+        checked = unparseable = sites_seen = 0
+        for module_name in self._MODULES:
+            bench = get_module(module_name)
+            for site in op.sites(bench.source)[:4]:
+                sites_seen += 1
+                try:
+                    parsed = parse_source(site.mutated_source)
+                except HdlSyntaxError:
+                    # The mutant does not parse (syntax families):
+                    # nothing to round-trip, by design.
+                    unparseable += 1
+                    continue
+                printed = "\n".join(
+                    print_module(m) for m in parsed.modules
+                )
+                reparsed = parse_source(printed)
+                reprinted = "\n".join(
+                    print_module(m) for m in reparsed.modules
+                )
+                assert printed == reprinted
+                try:
+                    original = elaborate(parsed, top=bench.top)
+                except (HdlElaborationError, EvalError):
+                    # Mutants may break elaboration; the printed copy
+                    # must break it the same way.
+                    with pytest.raises((HdlElaborationError, EvalError)):
+                        elaborate(reparsed, top=bench.top)
+                    checked += 1
+                    continue
+                roundtrip = elaborate(reparsed, top=bench.top)
+                assert design_signature(original) == \
+                    design_signature(roundtrip)
+                checked += 1
+        assert sites_seen > 0, (
+            f"operator {operator} produced no mutation sites on any "
+            f"probe module"
+        )
+        # Every family either round-trips (functional mutants) or is
+        # consistently unparseable (syntax mutants); silence — zero
+        # sites exercised either way — would make this test vacuous.
+        assert checked + unparseable == sites_seen
 
 
 _ident = st.sampled_from(["a", "b", "c", "v"])

@@ -1,0 +1,229 @@
+"""Seeded property-based tests for :mod:`repro.sim.values`.
+
+Random (width, value) pairs are checked against a plain Python-int
+reference model for the fully-known case, and against x-mask
+propagation invariants when unknown bits are present.  Everything is
+seeded through ``random.Random`` so a failure reproduces from the
+printed seed alone.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.values import Value, X
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+def _rand_known(rng, width):
+    return Value(rng.getrandbits(width), width)
+
+
+def _rand_any(rng, width):
+    bits = rng.getrandbits(width)
+    xmask = rng.getrandbits(width) if rng.random() < 0.5 else 0
+    return Value(bits, width, xmask)
+
+
+def _pairs(seed, count=200, max_width=64):
+    rng = random.Random(f"values-prop:{seed}")
+    for _ in range(count):
+        wa = rng.randrange(1, max_width + 1)
+        wb = rng.randrange(1, max_width + 1)
+        yield rng, wa, wb
+
+
+@pytest.mark.parametrize("seed", range(8))
+class TestIntReference:
+    """Known-value ops must agree with Python integer arithmetic."""
+
+    def test_add_sub_mul(self, seed):
+        for rng, wa, wb in _pairs(seed):
+            a, b = _rand_known(rng, wa), _rand_known(rng, wb)
+            width = max(wa, wb)
+            assert a.add(b).bits == (a.bits + b.bits) & _mask(width)
+            assert a.sub(b).bits == (a.bits - b.bits) & _mask(width)
+            assert a.mul(b).bits == (a.bits * b.bits) & _mask(width)
+
+    def test_div_mod(self, seed):
+        for rng, wa, wb in _pairs(seed):
+            a, b = _rand_known(rng, wa), _rand_known(rng, wb)
+            width = max(wa, wb)
+            if b.bits == 0:
+                assert a.div(b).is_all_x
+                assert a.mod(b).is_all_x
+            else:
+                assert a.div(b).bits == (a.bits // b.bits) & _mask(width)
+                assert a.mod(b).bits == (a.bits % b.bits) & _mask(width)
+
+    def test_bitwise(self, seed):
+        for rng, wa, wb in _pairs(seed):
+            a, b = _rand_known(rng, wa), _rand_known(rng, wb)
+            width = max(wa, wb)
+            assert a.bit_and(b).bits == a.bits & b.bits
+            assert a.bit_or(b).bits == a.bits | b.bits
+            assert a.bit_xor(b).bits == a.bits ^ b.bits
+            assert a.bit_not().bits == (~a.bits) & _mask(wa)
+
+    def test_compare(self, seed):
+        for rng, wa, wb in _pairs(seed):
+            a, b = _rand_known(rng, wa), _rand_known(rng, wb)
+            assert a.eq(b).bits == int(a.bits == b.bits)
+            assert a.ne(b).bits == int(a.bits != b.bits)
+            assert a.lt(b).bits == int(a.bits < b.bits)
+            assert a.le(b).bits == int(a.bits <= b.bits)
+            assert a.gt(b).bits == int(a.bits > b.bits)
+            assert a.ge(b).bits == int(a.bits >= b.bits)
+
+    def test_signed_compare_and_arith(self, seed):
+        for rng, wa, _ in _pairs(seed):
+            a = Value(rng.getrandbits(wa), wa, signed=True)
+            b = Value(rng.getrandbits(wa), wa, signed=True)
+            sa, sb = a.to_signed_int(), b.to_signed_int()
+            assert a.lt(b).bits == int(sa < sb)
+            assert a.ge(b).bits == int(sa >= sb)
+            assert a.add(b).bits == (sa + sb) & _mask(wa)
+
+    def test_shifts(self, seed):
+        for rng, wa, _ in _pairs(seed):
+            a = _rand_known(rng, wa)
+            n = rng.randrange(0, 2 * wa + 2)
+            amount = Value(n, max(1, n.bit_length()))
+            assert a.shl(amount).bits == (a.bits << n) & _mask(wa)
+            assert a.shr(amount).bits == a.bits >> min(n, wa)
+
+    def test_huge_shift_amount_is_bounded(self, seed):
+        rng = random.Random(f"values-prop-huge:{seed}")
+        width = rng.randrange(1, 64)
+        a = _rand_known(rng, width)
+        huge = Value(rng.getrandbits(32) | (1 << 31), 32)
+        # Must neither blow memory nor produce a wider-than-width value.
+        assert a.shl(huge).bits == 0
+        assert a.shr(huge).bits == 0
+        assert a.shl(huge).width == width
+
+    def test_reductions(self, seed):
+        for rng, wa, _ in _pairs(seed):
+            a = _rand_known(rng, wa)
+            assert a.reduce_and().bits == int(a.bits == _mask(wa))
+            assert a.reduce_or().bits == int(a.bits != 0)
+            assert a.reduce_xor().bits == bin(a.bits).count("1") % 2
+
+    def test_concat_select_roundtrip(self, seed):
+        for rng, wa, wb in _pairs(seed):
+            a, b = _rand_known(rng, wa), _rand_known(rng, wb)
+            joined = a.concat(b)
+            assert joined.width == wa + wb
+            assert joined.select_range(wa + wb - 1, wb) == a.resize(wa)
+            assert joined.select_range(wb - 1, 0) == b.resize(wb)
+
+
+@pytest.mark.parametrize("seed", range(8))
+class TestXPropagation:
+    """Invariants that must hold in the presence of unknown bits."""
+
+    def test_bits_never_overlap_xmask(self, seed):
+        for rng, wa, wb in _pairs(seed):
+            a, b = _rand_any(rng, wa), _rand_any(rng, wb)
+            for result in (
+                a.add(b), a.sub(b), a.mul(b), a.bit_and(b), a.bit_or(b),
+                a.bit_xor(b), a.bit_not(), a.eq(b), a.lt(b),
+                a.concat(b), a.resize(max(wa, wb) + 3),
+            ):
+                assert result.bits & result.xmask == 0
+                assert result.bits <= _mask(result.width)
+                assert result.xmask <= _mask(result.width)
+
+    def test_arith_with_x_is_all_x(self, seed):
+        for rng, wa, wb in _pairs(seed):
+            a, b = _rand_any(rng, wa), _rand_any(rng, wb)
+            if not (a.has_x or b.has_x):
+                continue
+            for result in (a.add(b), a.sub(b), a.mul(b), a.div(b),
+                           a.mod(b)):
+                assert result.is_all_x
+            assert a.eq(b).is_all_x
+            assert a.lt(b).is_all_x
+
+    def test_bitwise_masking_is_optimal(self, seed):
+        """0&x==0 and 1|x==1 must be *known*; everything else with an
+        x operand bit stays x (checked bit-by-bit against the truth
+        table)."""
+        for rng, wa, wb in _pairs(seed, count=60, max_width=16):
+            a, b = _rand_any(rng, wa), _rand_any(rng, wb)
+            width = max(wa, wb)
+            ra, rb = a.resize(width), b.resize(width)
+            res_and = a.bit_and(b)
+            res_or = a.bit_or(b)
+            for i in range(width):
+                abit = (None if (ra.xmask >> i) & 1
+                        else (ra.bits >> i) & 1)
+                bbit = (None if (rb.xmask >> i) & 1
+                        else (rb.bits >> i) & 1)
+                if abit == 0 or bbit == 0:
+                    expect_and = 0
+                elif abit is None or bbit is None:
+                    expect_and = None
+                else:
+                    expect_and = abit & bbit
+                got = (None if (res_and.xmask >> i) & 1
+                       else (res_and.bits >> i) & 1)
+                assert got == expect_and, (a, b, i)
+                if abit == 1 or bbit == 1:
+                    expect_or = 1
+                elif abit is None or bbit is None:
+                    expect_or = None
+                else:
+                    expect_or = abit | bbit
+                got = (None if (res_or.xmask >> i) & 1
+                       else (res_or.bits >> i) & 1)
+                assert got == expect_or, (a, b, i)
+
+    def test_case_eq_exact(self, seed):
+        for rng, wa, _ in _pairs(seed):
+            a = _rand_any(rng, wa)
+            assert a.case_eq(a).bits == 1
+            flipped = Value(a.bits ^ 1, wa, a.xmask)
+            if not a.xmask & 1:
+                assert a.case_eq(flipped).bits == 0
+
+    def test_resize_extension_of_x_sign(self, seed):
+        for rng, wa, _ in _pairs(seed):
+            width = max(2, wa)
+            value = Value(rng.getrandbits(width), width,
+                          xmask=1 << (width - 1), signed=True)
+            extended = value.resize(width + 8)
+            # Sign-extending an x sign bit must extend the x, not a 0/1.
+            high = _mask(width + 8) ^ _mask(width - 1)
+            assert extended.xmask & high == high
+
+    def test_replace_bits_roundtrip(self, seed):
+        for rng, wa, wb in _pairs(seed, count=80, max_width=24):
+            a, b = _rand_any(rng, wa), _rand_any(rng, wb)
+            lsb = rng.randrange(0, wa)
+            merged = a.replace_bits(lsb, b)
+            assert merged.width == wa
+            assert merged.bits & merged.xmask == 0
+            take = min(wb, wa - lsb)
+            if take > 0:
+                field = merged.select_range(lsb + take - 1, lsb)
+                assert field == b.select_range(take - 1, 0)
+
+    def test_truthiness_three_state(self, seed):
+        for rng, wa, _ in _pairs(seed):
+            a = _rand_any(rng, wa)
+            truth = a.is_truthy()
+            if a.bits:
+                assert truth is True
+            elif a.xmask:
+                assert truth is None
+            else:
+                assert truth is False
+
+
+def test_x_shorthand():
+    assert X(4).is_all_x
+    assert X(4).width == 4
