@@ -11,71 +11,37 @@ Methodology: this times the *simulator* — stimulus generation happens
 before the clock starts, value-change tracing is disabled (the way
 commercial simulators are benchmarked; run with ``--trace`` to include
 it), and each measurement is best-of-``--repeat`` to shed scheduler
-noise.  Bit-level equivalence between the backends is *not* this
+noise.  The drive loop itself lives in :mod:`repro.sim.benchmark`,
+shared with ``repro.cli profile`` so profiles measure exactly this
+workload.  Bit-level equivalence between the backends is *not* this
 script's job: the xcheck differential suite
 (``tests/test_backend_equiv.py``) owns that.
 
+``--baseline PREV.json`` additionally prints a per-module and geomean
+delta table against a previous run (compiled cycles/sec ratios) and
+exits non-zero when the geomean regresses by more than
+``--regression-threshold`` (default 20%) — CI runs this as a soft
+gate against the checked-in ``BENCH_sim.json``.
+
 Usage: python scripts/bench_sim.py [--out BENCH_sim.json] [--repeat 3]
                                    [--modules a,b,c] [--trace] [--quick]
+                                   [--baseline BENCH_sim.json]
+                                   [--delta-out BENCH_delta.md]
 """
 
 import argparse
 import json
 import math
 import sys
-import time
 
-from repro.bench.registry import all_modules, make_hr_sequence
-from repro.sim.backend import make_simulator
+from repro.bench.registry import all_modules
+from repro.sim.benchmark import drive, materialize
 
 BACKENDS = ("interp", "compiled")
 
-
-def materialize(bench):
-    """Flatten the HR sequence into plain pin vectors (pre-stimulus)."""
-    vectors = []
-    for txn in make_hr_sequence(bench).items():
-        vectors.append((dict(txn.fields), txn.hold_cycles, dict(txn.meta)))
-    return vectors
-
-
-def drive(bench, backend, vectors, trace):
-    """One timed run; returns (elapsed_seconds, cycles_driven)."""
-    protocol = bench.protocol
-    simulator = make_simulator(
-        bench.source, backend=backend, top=bench.top, trace=trace
-    )
-    started = time.perf_counter()
-    if protocol.reset is not None:
-        for name, value in protocol.default_inputs.items():
-            simulator.poke(name, value)
-        if protocol.is_clocked:
-            simulator.poke(protocol.clock, 0)
-        simulator.set(protocol.reset, protocol.reset_assert_value())
-        if protocol.is_clocked:
-            simulator.tick(protocol.clock, cycles=2)
-        simulator.set(protocol.reset, protocol.reset_release_value())
-    cycles = 0
-    for fields, hold_cycles, meta in vectors:
-        if protocol.reset is not None:
-            asserted = bool(meta.get("reset") or meta.get("reset_glitch"))
-            simulator.poke(
-                protocol.reset,
-                protocol.reset_assert_value() if asserted
-                else protocol.reset_release_value(),
-            )
-        for name, value in fields.items():
-            simulator.poke(name, value)
-        simulator.settle()
-        if protocol.is_clocked:
-            simulator.tick(protocol.clock, cycles=hold_cycles)
-            cycles += hold_cycles
-        else:
-            simulator.step_time(10)
-            cycles += 1
-        if meta.get("reset_glitch") and protocol.reset is not None:
-            simulator.set(protocol.reset, protocol.reset_release_value())
-    return time.perf_counter() - started, cycles
+#: Exit code for a geomean regression beyond the threshold (distinct
+#: from argparse/usage failures).
+REGRESSION_EXIT = 3
 
 
 def bench_module(bench, repeat, trace):
@@ -104,6 +70,52 @@ def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def compare_to_baseline(modules, baseline_path, threshold):
+    """Delta table vs a previous ``BENCH_sim.json``.
+
+    Returns ``(lines, geomean_ratio)``; ratios compare compiled
+    cycles/sec (higher is better), so 1.00 means unchanged and 0.80 a
+    20% regression.  Modules missing on either side are reported but
+    excluded from the geomean.
+    """
+    with open(baseline_path) as handle:
+        baseline = json.load(handle).get("modules", {})
+    lines = [
+        f"| {'module':<18} | {'base c/s':>10} | {'new c/s':>10} "
+        f"| {'delta':>7} |",
+        f"| {'-' * 18} | {'-' * 10}: | {'-' * 10}: | {'-' * 7}: |",
+    ]
+    ratios = []
+    for name in sorted(set(modules) | set(baseline)):
+        new = modules.get(name)
+        old = baseline.get(name)
+        if new is None or old is None:
+            status = "added" if old is None else "not run"
+            lines.append(f"| {name:<18} | {'-':>10} | {'-':>10} "
+                         f"| {status:>7} |")
+            continue
+        old_cps = old.get("compiled_cps", 0.0)
+        new_cps = new.get("compiled_cps", 0.0)
+        if old_cps > 0 and new_cps > 0:
+            ratio = new_cps / old_cps
+            ratios.append(ratio)
+            delta = f"{100.0 * (ratio - 1):+.0f}%"
+        else:
+            delta = "n/a"
+        lines.append(f"| {name:<18} | {old_cps:>10.0f} | {new_cps:>10.0f} "
+                     f"| {delta:>7} |")
+    overall = geomean(ratios)
+    verdict = "OK"
+    if overall and overall < 1.0 - threshold:
+        verdict = f"REGRESSION (>{100 * threshold:.0f}% geomean drop)"
+    elif overall and overall < 1.0:
+        verdict = "warn: slower than baseline"
+    lines.append("")
+    lines.append(f"geomean compiled-cps ratio vs baseline: "
+                 f"{overall:.2f}x — {verdict}")
+    return lines, overall
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--out", default="BENCH_sim.json")
@@ -115,6 +127,17 @@ def main():
                         help="keep value-change tracing on while timing")
     parser.add_argument("--quick", action="store_true",
                         help="one category representative each, repeat=2")
+    parser.add_argument("--baseline", default=None, metavar="PREV.json",
+                        help="print a delta table against a previous "
+                             "BENCH_sim.json; exit non-zero on a "
+                             "geomean regression beyond the threshold")
+    parser.add_argument("--delta-out", default=None, metavar="FILE.md",
+                        help="also write the baseline delta table here "
+                             "(markdown; CI appends it to the job "
+                             "summary)")
+    parser.add_argument("--regression-threshold", type=float, default=0.2,
+                        help="baseline geomean drop that fails the run "
+                             "(fraction, default 0.2 = 20%%)")
     args = parser.parse_args()
 
     benches = all_modules()
@@ -163,6 +186,28 @@ def main():
         json.dump(summary, handle, indent=2, sort_keys=True)
     print(f"\ngeomean speedup: {summary['geomean_speedup']:.2f}x "
           f"over {len(modules)} modules; wrote {args.out}")
+
+    if args.baseline:
+        try:
+            lines, ratio = compare_to_baseline(
+                modules, args.baseline, args.regression_threshold
+            )
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+        table = "\n".join(lines)
+        print(f"\ndelta vs baseline {args.baseline}:")
+        print(table)
+        if args.delta_out:
+            with open(args.delta_out, "w") as handle:
+                handle.write(f"## bench_sim delta vs checked-in "
+                             f"baseline\n\n{table}\n")
+        if ratio and ratio < 1.0 - args.regression_threshold:
+            print(f"FAIL: compiled-backend geomean regressed "
+                  f"{100.0 * (1.0 - ratio):.0f}% against "
+                  f"{args.baseline}", file=sys.stderr)
+            return REGRESSION_EXIT
     return 0
 
 

@@ -19,6 +19,9 @@ Commands:
   ``<cache-dir>/coverage/`` for cross-host merging);
 - ``coverage <db.json ...>`` — union-merge coverage databases and
   report totals, per-module bins and (``--holes``) uncovered bins;
+- ``profile --bench <name>`` — run a bench workload under ``cProfile``
+  on either backend and print the top cumulative hotspots, so perf
+  work starts from data;
 - ``fuzz`` — differential fuzzing: generate seeded random designs
   and run each through the xcheck lockstep + printer round-trip +
   coverage-parity oracle; failures are delta-debugged to minimal
@@ -396,6 +399,20 @@ def _cmd_fuzz(args):
     return 1
 
 
+def _cmd_profile(args):
+    from repro.sim.benchmark import profile_bench
+
+    bench = get_module(args.bench)
+    print(f"profiling {bench.name} on the {args.backend} backend "
+          f"({args.repeat} passes, trace={'on' if args.trace else 'off'})",
+          file=sys.stderr)
+    profile_bench(
+        bench, backend=args.backend, trace=args.trace,
+        repeat=args.repeat, top_n=args.top, sort=args.sort,
+    )
+    return 0
+
+
 def _generator_version():
     from repro.fuzz.generate import GENERATOR_VERSION
 
@@ -497,6 +514,28 @@ def build_parser():
                           help="exit 1 if merged functional coverage "
                                "falls below PCT")
     coverage.set_defaults(func=_cmd_coverage)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a bench workload under cProfile and print hotspots",
+    )
+    profile.add_argument("--bench", required=True,
+                         help="benchmark module to drive (see "
+                              "'bench-list')")
+    profile.add_argument("--backend", default="compiled",
+                         choices=("interp", "compiled", "xcheck"),
+                         help="simulation backend to profile "
+                              "(default: compiled)")
+    profile.add_argument("--repeat", type=int, default=3,
+                         help="full drive passes inside the profile")
+    profile.add_argument("--top", type=int, default=25,
+                         help="hotspots to print")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "calls"),
+                         help="pstats sort key")
+    profile.add_argument("--trace", action="store_true",
+                         help="profile with value-change tracing on")
+    profile.set_defaults(func=_cmd_profile)
 
     fuzz = sub.add_parser(
         "fuzz",

@@ -16,6 +16,7 @@ anyway — the embedded copy makes artifacts self-contained).
 
 import hashlib
 import json
+import os
 import time
 from dataclasses import dataclass
 
@@ -110,26 +111,37 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
         index, total = shard
         units = [u for u in units if u.index % total == index]
     cache = make_fuzz_cache(cache_dir) if cache_dir else None
+    # Fuzz shards share the cross-run kernel store too: a warm re-run
+    # rebinds each design's generated kernel from disk instead of
+    # re-running codegen per worker.  Scoped so the directory never
+    # outlives this campaign.
+    from repro.sim.compile import cache as kernel_cache
+
+    kernel_dir = (
+        os.path.join(os.fspath(cache_dir), "compiled")
+        if cache_dir else None
+    )
 
     verdicts = []
     started = time.monotonic()
     exhausted = 0
-    if time_budget is None:
-        verdicts = run_units(units, jobs=jobs, cache=cache,
-                             executor=execute_fuzz_unit,
-                             show_progress=show_progress)
-    else:
-        batch_size = max(16, jobs * 4)
-        for start in range(0, len(units), batch_size):
-            if time.monotonic() - started > time_budget:
-                exhausted = len(units) - start
-                break
-            batch = units[start:start + batch_size]
-            verdicts.extend(run_units(
-                batch, jobs=jobs, cache=cache,
-                executor=execute_fuzz_unit,
-                show_progress=show_progress,
-            ))
+    with kernel_cache.disk_cache(kernel_dir):
+        if time_budget is None:
+            verdicts = run_units(units, jobs=jobs, cache=cache,
+                                 executor=execute_fuzz_unit,
+                                 show_progress=show_progress)
+        else:
+            batch_size = max(16, jobs * 4)
+            for start in range(0, len(units), batch_size):
+                if time.monotonic() - started > time_budget:
+                    exhausted = len(units) - start
+                    break
+                batch = units[start:start + batch_size]
+                verdicts.extend(run_units(
+                    batch, jobs=jobs, cache=cache,
+                    executor=execute_fuzz_unit,
+                    show_progress=show_progress,
+                ))
 
     failures = [v for v in verdicts if not v["ok"]]
     features = {}

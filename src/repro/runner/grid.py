@@ -28,7 +28,10 @@ from typing import Optional, Tuple
 #: v3: records carry a serialized coverage fragment (functional model
 #: counters per module + code-coverage counters per instance), merged
 #: campaign-wide into the coverage database.
-CACHE_SCHEMA_VERSION = 3
+#: v4: the compiled backend's fused kernel commits one final value per
+#: comb activation, shifting event counts (and therefore modelled
+#: seconds) on compiled-backend records.
+CACHE_SCHEMA_VERSION = 4
 
 
 @dataclass

@@ -11,7 +11,18 @@ import sys
 import time
 
 
-def format_progress(done, total, elapsed, cached=0):
+def format_kernel_stats(kernels):
+    """Compiled-kernel cache summary fragment, or "" when inactive."""
+    if not kernels or not any(kernels.values()):
+        return ""
+    hits = kernels.get("memo_hits", 0) + kernels.get("disk_hits", 0)
+    text = f" kernels {kernels.get('compiled', 0)}c/{hits}h"
+    if kernels.get("disk_hits"):
+        text += f" ({kernels['disk_hits']} disk)"
+    return text
+
+
+def format_progress(done, total, elapsed, cached=0, kernels=None):
     """Render one status line; pure function for testability."""
     percent = 100.0 * done / total if total else 100.0
     executed = done - cached
@@ -23,7 +34,8 @@ def format_progress(done, total, elapsed, cached=0):
         eta_text = ""
     cached_text = f" ({cached} cached)" if cached else ""
     return (f"[campaign] {done}/{total} units ({percent:.0f}%)"
-            f"{cached_text} elapsed {_duration(elapsed)}{eta_text}")
+            f"{cached_text} elapsed {_duration(elapsed)}{eta_text}"
+            f"{format_kernel_stats(kernels)}")
 
 
 def _duration(seconds):
@@ -47,23 +59,34 @@ class ProgressReporter:
         self.done = 0
         self.cached = 0
 
-    def update(self, done, cached=0):
-        """Advance to ``done`` completed units (``cached`` of them hits)."""
+    def update(self, done, cached=0, kernels=None):
+        """Advance to ``done`` completed units (``cached`` of them
+        hits); ``kernels`` is the compiled-kernel cache aggregate so
+        far (compile/hit counters stream live)."""
         self.done, self.cached = done, cached
         now = self.clock()
         if now - self._last_emit < self.min_interval and done < self.total:
             return
         self._last_emit = now
         line = format_progress(done, self.total, now - self.started,
-                               cached=cached)
+                               cached=cached, kernels=kernels)
         print(line, file=self.stream, flush=True)
 
-    def finish(self):
+    def finish(self, kernels=None):
         elapsed = self.clock() - self.started
         executed = self.done - self.cached
+        kernel_text = ""
+        if kernels and any(kernels.values()):
+            hits = kernels.get("memo_hits", 0) + \
+                kernels.get("disk_hits", 0)
+            kernel_text = (
+                f"; kernel cache: {kernels.get('compiled', 0)} "
+                f"compiled, {hits} hits "
+                f"({kernels.get('disk_hits', 0)} from disk)"
+            )
         print(
             f"[campaign] finished {self.done}/{self.total} units in "
             f"{_duration(elapsed)} ({executed} executed, "
-            f"{self.cached} from cache)",
+            f"{self.cached} from cache{kernel_text})",
             file=self.stream, flush=True,
         )

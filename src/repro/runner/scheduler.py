@@ -32,6 +32,21 @@ def execute_unit(unit):
     return run_unit(unit)
 
 
+def _execute_with_kernel_stats(executor, unit):
+    """Run ``executor(unit)`` and report the compiled-kernel cache
+    movement it caused (top-level: picklable for pool workers).
+
+    The kernel cache lives per worker process; shipping per-unit
+    deltas back with each record lets the parent aggregate a
+    campaign-wide compile/hit picture for the progress stream.
+    """
+    from repro.sim.compile import cache as kernel_cache
+
+    before = kernel_cache.stats()
+    record = executor(unit)
+    return record, kernel_cache.stats_delta(before)
+
+
 class CampaignRunner:
     """Executes a list of work units with caching and parallelism.
 
@@ -47,6 +62,15 @@ class CampaignRunner:
         self.cache = cache
         self.reporter = reporter
         self.executor = executor if executor is not None else execute_unit
+        #: Aggregated compiled-kernel cache movement across all
+        #: executed units (including pool workers' deltas).
+        self.kernel_stats = {"compiled": 0, "memo_hits": 0,
+                             "disk_hits": 0}
+
+    def _absorb_kernel_stats(self, delta):
+        for key, value in delta.items():
+            if key in self.kernel_stats:
+                self.kernel_stats[key] += value
 
     def run(self, units, progress=None):
         """Execute ``units``; returns records in the same order.
@@ -64,7 +88,8 @@ class CampaignRunner:
             done += 1
             cached += 1 if is_hit else 0
             if self.reporter is not None:
-                self.reporter.update(done, cached=cached)
+                self.reporter.update(done, cached=cached,
+                                     kernels=self.kernel_stats)
             if progress is not None:
                 progress(done, total)
 
@@ -85,8 +110,12 @@ class CampaignRunner:
 
         if pending and self.jobs == 1:
             for position in pending:
-                results[position] = self.executor(units[position])
-                self._store(units[position], results[position])
+                record, kernel_delta = _execute_with_kernel_stats(
+                    self.executor, units[position]
+                )
+                self._absorb_kernel_stats(kernel_delta)
+                results[position] = record
+                self._store(units[position], record)
                 advance(False)
         elif pending:
             workers = min(self.jobs, len(pending))
@@ -95,13 +124,16 @@ class CampaignRunner:
                 max_workers=workers
             ) as pool:
                 futures = {
-                    pool.submit(self.executor, units[position]): position
+                    pool.submit(
+                        _execute_with_kernel_stats, self.executor,
+                        units[position],
+                    ): position
                     for position in pending
                 }
                 for future in concurrent.futures.as_completed(futures):
                     position = futures[future]
                     try:
-                        record = future.result()
+                        record, kernel_delta = future.result()
                     except concurrent.futures.CancelledError:
                         continue
                     except Exception as exc:
@@ -113,6 +145,7 @@ class CampaignRunner:
                             first_error = exc
                             pool.shutdown(wait=False, cancel_futures=True)
                         continue
+                    self._absorb_kernel_stats(kernel_delta)
                     results[position] = record
                     self._store(units[position], record)
                     advance(False)
@@ -120,7 +153,7 @@ class CampaignRunner:
                 raise first_error
 
         if self.reporter is not None:
-            self.reporter.finish()
+            self.reporter.finish(kernels=self.kernel_stats)
         return results
 
     def _store(self, unit, record):
@@ -159,13 +192,24 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
     unit-execution primitive.
     """
     units = list(units)
+    from repro.sim.compile import cache as kernel_cache
+
+    # Cross-run kernel store: generated simulation kernels persist
+    # under <cache-dir>/compiled/ and the directory is exported to
+    # pool workers (REPRO_COMPILE_CACHE) before the pool spawns;
+    # both are scoped to this run.
+    kernel_dir = (
+        os.path.join(os.fspath(cache_dir), "compiled")
+        if cache_dir else None
+    )
     if cache is None and cache_dir:
         cache = ResultCache(cache_dir)
     if reporter is None and show_progress and units:
         reporter = ProgressReporter(len(units))
     runner = CampaignRunner(jobs=jobs, cache=cache, reporter=reporter,
                             executor=executor)
-    return runner.run(units, progress=progress)
+    with kernel_cache.disk_cache(kernel_dir):
+        return runner.run(units, progress=progress)
 
 
 def default_jobs():

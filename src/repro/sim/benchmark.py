@@ -1,0 +1,86 @@
+"""Pin-level benchmark harness shared by perf tooling.
+
+``scripts/bench_sim.py`` (the interp-vs-compiled microbenchmark) and
+``repro.cli profile`` (the cProfile hotspot view) drive DUTs the same
+way: the registered benchmark's HR stimulus is flattened into plain
+pin vectors *before* the clock starts, then each vector is poked,
+settled and ticked — how commercial simulators are benchmarked, with
+stimulus generation off the clock.  Keeping the loop here guarantees
+both tools measure the identical workload.
+"""
+
+import time
+
+from repro.bench.registry import make_hr_sequence
+from repro.sim.backend import make_simulator
+
+
+def materialize(bench, seed=0):
+    """Flatten the HR sequence into plain pin vectors (pre-stimulus)."""
+    vectors = []
+    for txn in make_hr_sequence(bench, seed=seed).items():
+        vectors.append((dict(txn.fields), txn.hold_cycles, dict(txn.meta)))
+    return vectors
+
+
+def drive(bench, backend, vectors, trace=False):
+    """One timed run; returns ``(elapsed_seconds, cycles_driven)``."""
+    protocol = bench.protocol
+    simulator = make_simulator(
+        bench.source, backend=backend, top=bench.top, trace=trace
+    )
+    started = time.perf_counter()
+    if protocol.reset is not None:
+        for name, value in protocol.default_inputs.items():
+            simulator.poke(name, value)
+        if protocol.is_clocked:
+            simulator.poke(protocol.clock, 0)
+        simulator.set(protocol.reset, protocol.reset_assert_value())
+        if protocol.is_clocked:
+            simulator.tick(protocol.clock, cycles=2)
+        simulator.set(protocol.reset, protocol.reset_release_value())
+    cycles = 0
+    for fields, hold_cycles, meta in vectors:
+        if protocol.reset is not None:
+            asserted = bool(meta.get("reset") or meta.get("reset_glitch"))
+            simulator.poke(
+                protocol.reset,
+                protocol.reset_assert_value() if asserted
+                else protocol.reset_release_value(),
+            )
+        for name, value in fields.items():
+            simulator.poke(name, value)
+        simulator.settle()
+        if protocol.is_clocked:
+            simulator.tick(protocol.clock, cycles=hold_cycles)
+            cycles += hold_cycles
+        else:
+            simulator.step_time(10)
+            cycles += 1
+        if meta.get("reset_glitch") and protocol.reset is not None:
+            simulator.set(protocol.reset, protocol.reset_release_value())
+    return time.perf_counter() - started, cycles
+
+
+def profile_bench(bench, backend="compiled", trace=False, repeat=3,
+                  top_n=25, sort="cumulative", stream=None):
+    """Run the bench workload under ``cProfile``; print top hotspots.
+
+    Returns the :class:`pstats.Stats` object so callers (tests) can
+    inspect it.  ``repeat`` full drive passes amortize construction
+    against steady-state simulation in the profile.
+    """
+    import cProfile
+    import pstats
+    import sys
+
+    vectors = materialize(bench)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(max(1, repeat)):
+        drive(bench, backend, vectors, trace)
+    profiler.disable()
+    stats = pstats.Stats(profiler, stream=stream or sys.stdout)
+    stats.sort_stats(sort)
+    stats.print_stats(top_n)
+    return stats

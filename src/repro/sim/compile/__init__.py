@@ -1,12 +1,16 @@
-"""Compiled simulation: levelization + process-body codegen.
+"""Compiled simulation: whole-design kernel fusion + codegen.
 
-See :mod:`repro.sim.compile.engine` for the backend entry point and
-:mod:`repro.sim.backend` for selection (``interp``/``compiled``/
+See :mod:`repro.sim.compile.engine` for the backend entry point,
+:mod:`repro.sim.compile.kernel` for the fused settle/tick generator,
+:mod:`repro.sim.compile.cache` for the cross-run compilation cache,
+and :mod:`repro.sim.backend` for selection (``interp``/``compiled``/
 ``xcheck``).
 """
 
+from repro.sim.compile.cache import get_kernel, kernel_cache_key
 from repro.sim.compile.codegen import NotCompilable, compile_process
 from repro.sim.compile.engine import CompiledSimulator
+from repro.sim.compile.kernel import build_kernel_source
 from repro.sim.compile.levelize import levelize
 from repro.sim.compile.xcheck import XCheckDivergence, XCheckSimulator
 
@@ -15,6 +19,9 @@ __all__ = [
     "NotCompilable",
     "XCheckDivergence",
     "XCheckSimulator",
+    "build_kernel_source",
     "compile_process",
+    "get_kernel",
+    "kernel_cache_key",
     "levelize",
 ]

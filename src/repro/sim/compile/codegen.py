@@ -146,6 +146,21 @@ class ProcessCompiler:
     def bind_value(self, value):
         return self.bind(value, "K")
 
+    def scope_ref(self):
+        """Name of the process scope in the generated code.
+
+        The fused-kernel compiler overrides this (scopes there are
+        rebound per design at ``bind()`` time instead of living in the
+        exec environment)."""
+        return "_scope"
+
+    def signal_value_ref(self, entry):
+        """Expression reading ``entry``'s current value.
+
+        Overridable: the fused kernel hoists signal slots into local
+        variables, so reads there are plain locals."""
+        return f"{self.bind(entry, 'S')}.value"
+
     # -- name resolution (mirrors Scope / _BindScope / _Executor) -----------
 
     def resolve_read(self, name):
@@ -316,7 +331,7 @@ class ProcessCompiler:
         if isinstance(expr, ast.Identifier):
             entry = self.resolve_read(expr.name)
             if isinstance(entry, Signal):
-                var = f"{self.bind(entry, 'S')}.value"
+                var = self.signal_value_ref(entry)
                 if ctx_width and ctx_width > entry.width:
                     out = self.tmp()
                     self.emit(f"{out} = {var}.resize({ctx_width})")
@@ -343,18 +358,42 @@ class ProcessCompiler:
         if isinstance(expr, ast.Concat):
             if not expr.parts:
                 raise NotCompilable("empty concatenation")
-            pieces = []
+            compiled = []
             total = 0
+            static = True
             for part in expr.parts:
-                var, _ = self.compile_expr(part)
                 width = self.self_width(part)
+                var, vw = self.compile_expr(part)
+                compiled.append((var, vw, width))
                 total += width
-                pieces.append(f"{var}.resize({width})")
+                if vw != width:
+                    static = False
             out = self.tmp()
-            code = pieces[0]
-            for piece in pieces[1:]:
-                code = f"{code}.concat({piece})"
-            self.emit(f"{out} = {code}")
+            if static:
+                # Every part is at its exact static width: one fused
+                # shift-or construction replaces the per-part
+                # resize().concat() allocation chain (concat reads
+                # bits/xmask raw, so part signedness is irrelevant).
+                offset = total
+                bits_terms = []
+                xmask_terms = []
+                for var, _vw, width in compiled:
+                    offset -= width
+                    if offset:
+                        bits_terms.append(f"({var}.bits << {offset})")
+                        xmask_terms.append(f"({var}.xmask << {offset})")
+                    else:
+                        bits_terms.append(f"{var}.bits")
+                        xmask_terms.append(f"{var}.xmask")
+                self.emit(f"{out} = Value({' | '.join(bits_terms)}, "
+                          f"{total}, {' | '.join(xmask_terms)})")
+            else:
+                code = None
+                for var, _vw, width in compiled:
+                    piece = f"{var}.resize({width})"
+                    code = piece if code is None else \
+                        f"{code}.concat({piece})"
+                self.emit(f"{out} = {code}")
             if ctx_width and ctx_width > total:
                 self.emit(f"{out} = {out}.resize({ctx_width})")
                 return out, ctx_width
@@ -373,6 +412,44 @@ class ProcessCompiler:
             return self._compile_call(expr, ctx_width)
 
         raise NotCompilable(f"cannot compile {type(expr).__name__}")
+
+    def _raw_operand(self, expr, width):
+        """Reference reading ``expr`` raw for an unsigned fast path,
+        or ``None`` when raw reading is not provably safe.
+
+        Zero-extension is the identity on the ``(bits, xmask)``
+        integer pair, so a statically unsigned identifier or literal
+        narrower than ``width`` can be read without the ``resize``
+        allocation — as long as the consumer only reads those two
+        fields and constructs its result at ``width`` itself."""
+        if isinstance(expr, ast.Identifier):
+            entry = self.resolve_read(expr.name)
+            if isinstance(entry, Signal) and not entry.signed \
+                    and entry.width <= width:
+                return self.signal_value_ref(entry)
+            if isinstance(entry, Value) and not entry.signed \
+                    and entry.width <= width:
+                return self.bind_value(entry)
+        if isinstance(expr, ast.Number) and not expr.signed:
+            literal_width = expr.width or 32
+            if literal_width <= width:
+                return self.bind_value(
+                    Value(expr.value, literal_width, expr.xmask)
+                )
+        return None
+
+    def compile_operand_raw(self, expr, width):
+        """Raw-read ``expr`` when safe, else the context-resized
+        compile.  Only for consumers whose result construction at
+        ``width`` makes any narrower (sub-context) operand width
+        unobservable — true for the binary bits/xmask fast paths,
+        NOT for ``~``, whose result width follows the operand (see
+        ``_compile_unary``)."""
+        raw = self._raw_operand(expr, width)
+        if raw is not None:
+            return raw
+        var, _ = self.compile_expr(expr, width)
+        return var
 
     def _runtime_int(self, expr):
         """Compile ``expr`` and reduce it to a plain int (None if x)."""
@@ -423,6 +500,20 @@ class ProcessCompiler:
                       f"({x1} if {var}.xmask else {one})")
             return out, 1
         width = max(self.self_width(expr.operand), ctx_width or 0)
+        if op == "~":
+            # The interpreter complements at the *operand's* width —
+            # which for identifiers/literals is the context width
+            # (their eval widens), but for self-determined 1-bit
+            # operands like compares stays 1.  So the fused
+            # at-context-width construction is only valid for operand
+            # forms the evaluator widens: exactly the raw-readable
+            # ones.
+            raw = self._raw_operand(expr.operand, width)
+            if raw is not None:
+                out = self.tmp()
+                self.emit(f"{out} = Value(~{raw}.bits, {width}, "
+                          f"{raw}.xmask)")
+                return out, width
         var, vw = self.compile_expr(expr.operand, width)
         if op == "~":
             out = self.tmp()
@@ -494,8 +585,15 @@ class ProcessCompiler:
                 self.static_signed(expr.left) is False
                 and self.static_signed(expr.right) is False
             )
-            lvar, _ = self.compile_expr(expr.left, width)
-            rvar, _ = self.compile_expr(expr.right, width)
+            lw = rw = None
+            if unsigned:
+                # All unsigned comparisons below read bits/xmask only,
+                # which zero-extension cannot change.
+                lvar = self.compile_operand_raw(expr.left, width)
+                rvar = self.compile_operand_raw(expr.right, width)
+            else:
+                lvar, lw = self.compile_expr(expr.left, width)
+                rvar, rw = self.compile_expr(expr.right, width)
             out = self.tmp()
             if op == "===":
                 if unsigned:
@@ -537,6 +635,9 @@ class ProcessCompiler:
                 self.emit(f"{out} = {one} if {lvar}.bits {py_op} "
                           f"{rvar}.bits else {zero}")
                 self.indent -= 1
+            elif lw == width and rw == width and \
+                    self._inline_compare(out, op, lvar, rvar, width):
+                pass  # emitted the equal-width inline compare
             else:
                 method = _COMPARE_METHODS[op]
                 self.emit(f"{out} = {lvar}.{method}({rvar})")
@@ -544,6 +645,31 @@ class ProcessCompiler:
 
         if op in _SHIFT_OPS:
             width = max(self.self_width(expr.left), ctx_width or 0)
+            amount = None
+            have_const = True
+            try:
+                amount = self.const_int(expr.right)
+            except NotCompilable:
+                have_const = False
+            if have_const and self.static_signed(expr.left) is False:
+                # Constant shift of an unsigned operand: fold the
+                # x-amount and clamp checks, inline the construction
+                # (>>> on an unsigned value is the logical shift).
+                if amount is None:
+                    return self.bind_value(Value.all_x(width)), width
+                out = self.tmp()
+                if op in ("<<", "<<<"):
+                    if amount >= width:
+                        return self.bind_value(Value(0, width)), width
+                    raw = self.compile_operand_raw(expr.left, width)
+                    self.emit(f"{out} = Value({raw}.bits << {amount}, "
+                              f"{width}, {raw}.xmask << {amount})")
+                else:
+                    clamped = min(amount, width)
+                    raw = self.compile_operand_raw(expr.left, width)
+                    self.emit(f"{out} = Value({raw}.bits >> {clamped}, "
+                              f"{width}, {raw}.xmask >> {clamped})")
+                return out, width
             lvar, _ = self.compile_expr(expr.left, width)
             avar, _ = self.compile_expr(expr.right)
             out = self.tmp()
@@ -573,8 +699,18 @@ class ProcessCompiler:
                 self.static_signed(expr.left) is False
                 and self.static_signed(expr.right) is False
             )
-            lvar, _ = self.compile_expr(expr.left, width)
-            rvar, _ = self.compile_expr(expr.right, width)
+            fast = unsigned and (
+                op in ("+", "-", "*", "&", "|", "^", "^~", "~^")
+            )
+            if fast:
+                # These branches construct the result at ``width``
+                # from bits/xmask directly; raw (unresized) unsigned
+                # operands are exact.
+                lvar = self.compile_operand_raw(expr.left, width)
+                rvar = self.compile_operand_raw(expr.right, width)
+            else:
+                lvar, _ = self.compile_expr(expr.left, width)
+                rvar, _ = self.compile_expr(expr.right, width)
             out = self.tmp()
             if unsigned and op in ("+", "-", "*"):
                 # Unsigned modular arithmetic commutes with masking, so
@@ -627,6 +763,53 @@ class ProcessCompiler:
             return out, width
 
         raise NotCompilable(f"unknown binary operator {op!r}")
+
+    def _inline_compare(self, out, op, lvar, rvar, width):
+        """Equal-width relational compare without the method call.
+
+        Mirrors ``Value._compare`` for operands already at ``width``:
+        any x operand -> x; the signedness of the comparison is the
+        conjunction of the *runtime* signed flags (resize at equal
+        width only rewrites the flag), and two's-complement conversion
+        at a static width is a conditional subtract.  Equality needs
+        no sign conversion at all (two's complement is bijective).
+        Returns True when it emitted code."""
+        if op not in ("==", "!=", "<", "<=", ">", ">="):
+            return False
+        x1 = self.bind_value(Value.all_x(1))
+        one = self.bind_value(Value(1, 1))
+        zero = self.bind_value(Value(0, 1))
+        self.emit(f"if {lvar}.xmask or {rvar}.xmask:")
+        self.indent += 1
+        self.emit(f"{out} = {x1}")
+        self.indent -= 1
+        self.emit("else:")
+        self.indent += 1
+        if op in ("==", "!="):
+            self.emit(f"{out} = {one} if {lvar}.bits {op} {rvar}.bits "
+                      f"else {zero}")
+            self.indent -= 1
+            return True
+        half = 1 << (width - 1)
+        full = 1 << width
+        a = self.tmp()
+        b = self.tmp()
+        self.emit(f"{a} = {lvar}.bits")
+        self.emit(f"{b} = {rvar}.bits")
+        self.emit(f"if {lvar}.signed and {rvar}.signed:")
+        self.indent += 1
+        self.emit(f"if {a} >= {half}:")
+        self.indent += 1
+        self.emit(f"{a} -= {full}")
+        self.indent -= 1
+        self.emit(f"if {b} >= {half}:")
+        self.indent += 1
+        self.emit(f"{b} -= {full}")
+        self.indent -= 1
+        self.indent -= 1
+        self.emit(f"{out} = {one} if {a} {op} {b} else {zero}")
+        self.indent -= 1
+        return True
 
     def _compile_ternary(self, expr, ctx_width):
         cvar, _ = self.compile_expr(expr.cond)
@@ -691,20 +874,40 @@ class ProcessCompiler:
         return out, total
 
     def _compile_index(self, expr, ctx_width):
-        ivar = self._runtime_int(expr.index)
+        const_index = None
+        have_const = True
+        try:
+            const_index = self.const_int(expr.index)
+        except NotCompilable:
+            have_const = False
         if isinstance(expr.base, ast.Identifier):
             entry = self.resolve_read(expr.base.name)
             if isinstance(entry, Memory):
+                ivar = (repr(const_index) if have_const
+                        else self._runtime_int(expr.index))
                 out = self.tmp()
                 self.emit(f"{out} = {self.bind(entry, 'M')}.read({ivar})")
                 return self._ctx_guard(out, entry.width, ctx_width)
-        bvar, _ = self.compile_expr(expr.base)
+        bvar, bw = self.compile_expr(expr.base)
         out = self.tmp()
+        if have_const and bw is not None:
+            # Constant index on a statically sized base: fold the
+            # bound checks and inline select_bit's construction.
+            if const_index is None or const_index < 0 \
+                    or const_index >= bw:
+                return self._ctx_guard(
+                    self.bind_value(Value.all_x(1)), 1, ctx_width
+                )
+            self.emit(f"{out} = Value(({bvar}.bits >> {const_index}) "
+                      f"& 1, 1, ({bvar}.xmask >> {const_index}) & 1)")
+            return self._ctx_guard(out, 1, ctx_width)
+        ivar = (repr(const_index) if have_const
+                else self._runtime_int(expr.index))
         self.emit(f"{out} = {bvar}.select_bit({ivar})")
         return self._ctx_guard(out, 1, ctx_width)
 
     def _compile_part_select(self, expr, ctx_width):
-        bvar, _ = self.compile_expr(expr.base)
+        bvar, bw = self.compile_expr(expr.base)
         out = self.tmp()
         if expr.mode == ":":
             try:
@@ -716,6 +919,16 @@ class ProcessCompiler:
                 lvar = self._runtime_int(expr.lsb)
                 self.emit(f"{out} = {bvar}.select_range({mvar}, {lvar})")
                 return self._ctx_guard(out, None, ctx_width)
+            if msb is not None and lsb is not None and \
+                    0 <= lsb <= msb and bw is not None and msb < bw:
+                # Fully in-range static slice: inline select_range's
+                # shift (the constructor masks to the slice width).
+                width = msb - lsb + 1
+                shift = f".bits >> {lsb}" if lsb else ".bits"
+                xshift = f".xmask >> {lsb}" if lsb else ".xmask"
+                self.emit(f"{out} = Value({bvar}{shift}, {width}, "
+                          f"{bvar}{xshift})")
+                return self._ctx_guard(out, width, ctx_width)
             self.emit(f"{out} = {bvar}.select_range({msb!r}, {lsb!r})")
             if msb is None or lsb is None or msb < lsb:
                 width = 1 if (msb is None or lsb is None) \
@@ -776,12 +989,13 @@ class ProcessCompiler:
             return out, 32
         if expr.name in ("$time", "$stime"):
             out = self.tmp()
-            self.emit(f"{out} = Value(getattr(_scope, 'time', 0), 64)")
+            self.emit(f"{out} = Value(getattr({self.scope_ref()}, "
+                      "'time', 0), 64)")
             return out, 64
         if expr.name == "$random":
             out = self.tmp()
-            self.emit(f"{out} = Value(getattr(_scope, 'random_value', 0), "
-                      "32)")
+            self.emit(f"{out} = Value(getattr({self.scope_ref()}, "
+                      "'random_value', 0), 32)")
             return out, 32
         raise NotCompilable(f"unsupported function {expr.name}")
 
@@ -1178,18 +1392,28 @@ class ProcessCompiler:
             self._compile_part_select_store(target, var, deferred)
             return
         if isinstance(target, ast.Concat):
-            widths = [self._lvalue_width(p) for p in target.parts]
-            offset = sum(widths)
-            for part, width in zip(target.parts, widths):
-                offset -= width
-                piece = self.tmp()
-                self.emit(f"{piece} = {var}.select_range("
-                          f"{offset + width - 1}, {offset})")
-                self._compile_store(part, piece, deferred)
+            self._compile_concat_store(target, var, deferred)
             return
         raise NotCompilable(
             f"invalid assignment target {type(target).__name__}"
         )
+
+    def _compile_concat_store(self, target, var, deferred):
+        """Split a ``{a, b} = value`` store into per-part stores.
+
+        The RHS is already resized to the total target width, so each
+        part's slice is statically in range and select_range inlines
+        to a shift-and-construct."""
+        widths = [self._lvalue_width(p) for p in target.parts]
+        offset = sum(widths)
+        for part, width in zip(target.parts, widths):
+            offset -= width
+            piece = self.tmp()
+            shift = f".bits >> {offset}" if offset else ".bits"
+            xshift = f".xmask >> {offset}" if offset else ".xmask"
+            self.emit(f"{piece} = Value({var}{shift}, {width}, "
+                      f"{var}{xshift})")
+            self._compile_store(part, piece, deferred)
 
     def _compile_part_select_store(self, target, var, deferred):
         if not isinstance(target.base, ast.Identifier):
@@ -1229,10 +1453,19 @@ class ProcessCompiler:
 
     # -- entry point ---------------------------------------------------------
 
-    def compile(self):
-        """Compile the whole process body; returns ``(closure, source)``."""
+    def compile_body(self):
+        """Compile just the statement list; returns the emitted lines.
+
+        Used by the fused-kernel compiler, which assembles many
+        process bodies into one generated module instead of exec'ing
+        each body separately."""
         for stmt in self.process.body:
             self.compile_stmt(stmt)
+        return self.lines
+
+    def compile(self):
+        """Compile the whole process body; returns ``(closure, source)``."""
+        self.compile_body()
         if not self.lines:
             self.lines.append("    pass")
         name = (self.process.name or self.process.kind or "proc")

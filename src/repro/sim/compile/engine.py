@@ -6,35 +6,41 @@ same construction signature, same public API (``set``/``poke``/``get``/
 machinery — it inherits all of that.  What changes is *how* processes
 execute and how combinational logic settles:
 
-- every process body is compiled once at construction into a native
-  Python closure (:mod:`repro.sim.compile.codegen`); bodies the
-  compiler cannot prove faithful stay on the inherited interpreter,
-  per process;
-- combinational processes are levelized
-  (:mod:`repro.sim.compile.levelize`); ``settle()`` then runs linear
-  sweeps over the topological order driven by a dirty flag per
-  process, instead of the worklist fixpoint.  On designs with
-  combinational cycles (or unresolvable write targets) the engine
-  falls back to the inherited event-driven scheduler, still running
-  compiled closures.
+- when the design levelizes (:mod:`repro.sim.compile.levelize`), the
+  whole design is fused into one generated ``settle()`` kernel — comb
+  processes inlined in topological order over hoisted signal slots —
+  plus sibling seq/initial functions and per-clock ``tick()`` kernels
+  (:mod:`repro.sim.compile.kernel`).  The generated module is shared
+  across simulator instances and across runs through the compilation
+  cache (:mod:`repro.sim.compile.cache`): each distinct design is
+  compiled once per campaign, not once per work unit;
+- process bodies the codegen cannot prove faithful (runtime-width
+  part selects, whole-memory stores, ...) are *demoted*: they stay on
+  the inherited interpreter, called from inside the fused kernel at
+  their topological level;
+- designs with combinational cycles (or unresolvable write targets)
+  fall back to the previous architecture: every body compiled once
+  into a per-process closure (:mod:`repro.sim.compile.codegen`),
+  scheduled by the inherited event-driven engine.
 
 Correctness contract: settled signal values, x-propagation, traces and
 raised errors are bit-identical to the interpreter.  The *number* of
-intermediate glitch evaluations can differ (levelized sweeps evaluate
-each cone once per wave), so ``event_count`` — which feeds the
-modelled-seconds clock — is scheduler-dependent; HR/FR outcomes are
-backend-invariant.  The ``xcheck`` backend enforces the value contract
-at every settle.
+intermediate glitch evaluations can differ (the fused kernel commits
+one final value per activation where the worklist re-evaluates
+glitchy cones), so ``event_count`` — which feeds the modelled-seconds
+clock — is scheduler-dependent; HR/FR outcomes are backend-invariant.
+The ``xcheck`` backend enforces the value contract at every settle.
 """
 
+from repro.sim.compile.cache import get_kernel
 from repro.sim.compile.codegen import compile_process
 from repro.sim.compile.levelize import levelize
 from repro.sim.elaborate import elaborate
-from repro.sim.engine import SimulationError, Simulator, _MAX_DELTAS
+from repro.sim.engine import Simulator
 
 
 class CompiledSimulator(Simulator):
-    """Simulates an elaborated design through compiled closures."""
+    """Simulates an elaborated design through generated native code."""
 
     backend_name = "compiled"
 
@@ -42,47 +48,69 @@ class CompiledSimulator(Simulator):
         if isinstance(design, str):
             design = elaborate(design)
         # The collector must exist before codegen runs: recording
-        # calls are baked into the generated closures.
+        # calls are baked into the generated code.
         if code_coverage and not hasattr(code_coverage, "hit_stmt"):
             from repro.cover.code import CodeCoverage
 
             code_coverage = CodeCoverage(design)
         self.code_coverage = code_coverage or None
-        # Compile before the base constructor runs time-zero processes,
-        # so initial/comb bodies already execute compiled.
-        self._compiled = {}
+        # The untraced write path must be installed before any codegen
+        # binds self._write_signal (see Simulator.__init__).
+        if not trace:
+            self._write_signal = self._write_signal_untraced
+        self._compiled = {}        # legacy per-process closures
+        self._kernel_fns = {}      # id(process) -> kernel fn(sim)
+        self._kernel_ticks = {}    # clock name -> tick fn
+        self._kernel_pokes = {}    # port name -> poke fn
         self.compiled_sources = {}
         self.fallback_reasons = {}
-        for process in design.processes:
-            closure, source = compile_process(self, process)
-            if closure is not None:
-                self._compiled[id(process)] = closure
-                self.compiled_sources[process] = source
-            else:
-                self.fallback_reasons[process] = source
+        self.kernel_source = None
+
         order = levelize(design)
         self.levelized = order is not None
         if self.levelized:
-            self._order = order
             self._level_of = {id(p): i for i, p in enumerate(order)}
             self._dirty = bytearray(len(order))
-            self._dirty_count = 0
-            # Per-slot closures so the settle sweep skips the dict
-            # lookup and wrapper frame of _run_process.
-            self._order_closures = [
-                self._compiled.get(id(p)) for p in order
-            ]
+            bind, source = get_kernel(
+                design, order, trace=trace, coverage=self.code_coverage,
+            )
+            kernel = bind(design)
+            self.kernel_source = source
+            processes = design.processes
+            for index, fn in kernel["fns"].items():
+                self._kernel_fns[id(processes[index])] = fn
+            self._kernel_ticks = kernel["ticks"]
+            self._kernel_pokes = kernel["pokes"]
+            for index in kernel["compiled"]:
+                self.compiled_sources[processes[index]] = source
+            for index, reason in kernel["demoted"].items():
+                self.fallback_reasons[processes[index]] = reason
+            # Instance attribute wins over the class method: settle()
+            # dispatches straight into the generated kernel.
+            self.settle = kernel["settle"].__get__(self)
+        else:
+            # Event-driven fallback: per-process compiled closures
+            # under the inherited worklist scheduler.
+            for process in design.processes:
+                closure, source = compile_process(self, process)
+                if closure is not None:
+                    self._compiled[id(process)] = closure
+                    self.compiled_sources[process] = source
+                else:
+                    self.fallback_reasons[process] = source
         super().__init__(design, trace=trace)
 
     # -- compile stats -------------------------------------------------------
 
     @property
     def compiled_process_count(self):
+        if self.levelized:
+            return len(self.design.processes) - len(self.fallback_reasons)
         return len(self._compiled)
 
     @property
     def interpreted_process_count(self):
-        return len(self.design.processes) - len(self._compiled)
+        return len(self.design.processes) - self.compiled_process_count
 
     # -- scheduling overrides ------------------------------------------------
 
@@ -91,58 +119,36 @@ class CompiledSimulator(Simulator):
             return super()._schedule_comb(process)
         if process is self._running:
             return
-        index = self._level_of[id(process)]
-        if not self._dirty[index]:
-            self._dirty[index] = 1
-            self._dirty_count += 1
+        self._dirty[self._level_of[id(process)]] = 1
 
-    def settle(self):
-        if not self.levelized:
-            return super().settle()
-        if not (self._dirty_count or self._clocked or self._nba):
-            return  # quiescent: skip the local binds below
-        dirty = self._dirty
-        order = self._order
-        closures = self._order_closures
-        count = len(order)
-        deltas = 0
-        while self._dirty_count or self._clocked or self._nba:
-            while self._dirty_count:
-                # One sweep in topological order; writes can only mark
-                # strictly later processes dirty (acyclic), so a single
-                # sweep normally drains the wave.  The outer loop
-                # re-sweeps defensively if anything is left.
-                for index in range(count):
-                    if dirty[index]:
-                        dirty[index] = 0
-                        self._dirty_count -= 1
-                        deltas += 1
-                        if deltas > _MAX_DELTAS:
-                            raise SimulationError(
-                                "design did not settle "
-                                "(combinational loop?)"
-                            )
-                        closure = closures[index]
-                        if closure is None:
-                            self._run_process(order[index])
-                        else:
-                            previous = self._running
-                            self._running = order[index]
-                            try:
-                                closure()
-                            finally:
-                                self._running = previous
-            if self._clocked:
-                clocked, self._clocked = self._clocked, []
-                self._clocked_set.clear()
-                for process in clocked:
-                    self._run_process(process)
-            if not self._dirty_count and self._nba:
-                updates, self._nba = self._nba, []
-                for apply_update in updates:
-                    apply_update()
+    def tick(self, clock="clk", cycles=1, half_period=5):
+        fn = self._kernel_ticks.get(clock)
+        if fn is None:
+            return super().tick(clock, cycles, half_period)
+        fn(self, cycles, half_period)
+
+    def poke(self, name, value):
+        fn = self._kernel_pokes.get(name)
+        if fn is None:
+            return super().poke(name, value)
+        fn(self, value)
+
+    def set(self, name, value):
+        fn = self._kernel_pokes.get(name)
+        if fn is None:
+            return super().set(name, value)
+        fn(self, value)
+        self.settle()
 
     def _run_process(self, process):
+        fn = self._kernel_fns.get(id(process))
+        if fn is not None:
+            previous, self._running = self._running, process
+            try:
+                fn(self)
+            finally:
+                self._running = previous
+            return
         closure = self._compiled.get(id(process))
         if closure is None:
             return super()._run_process(process)
@@ -152,7 +158,7 @@ class CompiledSimulator(Simulator):
         finally:
             self._running = previous
 
-    # -- compiled store helpers (pre-bound into generated closures) ----------
+    # -- compiled store helpers (bound into generated code) ------------------
 
     def _store_bit(self, signal, index, value):
         if index is None:

@@ -82,6 +82,81 @@ def write_set(process):
     return signals, memories
 
 
+def _expr_names(node, names):
+    if node is None:
+        return
+    for sub in node.walk():
+        if isinstance(sub, ast.Identifier):
+            names.add(sub.name)
+
+
+def _target_read_names(target, names):
+    """Names a store *reads*: indices/bounds, and — for bit/slice
+    stores — the base itself (``replace_bits`` reads the current
+    value).  A whole-identifier store reads nothing."""
+    if isinstance(target, ast.Identifier):
+        return
+    if isinstance(target, ast.Index):
+        _expr_names(target.index, names)
+        if isinstance(target.base, ast.Identifier):
+            names.add(target.base.name)
+        else:
+            _expr_names(target.base, names)
+        return
+    if isinstance(target, ast.PartSelect):
+        _expr_names(target.msb, names)
+        _expr_names(target.lsb, names)
+        if isinstance(target.base, ast.Identifier):
+            names.add(target.base.name)
+        else:
+            _expr_names(target.base, names)
+        return
+    if isinstance(target, ast.Concat):
+        for part in target.parts:
+            _target_read_names(part, names)
+        return
+    _expr_names(target, names)
+
+
+def read_set_names(process):
+    """Every identifier ``process`` may *read* (not just write).
+
+    Walks assignments precisely — an assignment target contributes
+    only its index/bound expressions (plus the base for bit/slice
+    stores) — and everything else conservatively."""
+    names = set()
+    in_target = set()
+
+    for stmt in process.body:
+        for node in stmt.walk():
+            if isinstance(node, ast.Assign) and node.target is not None:
+                _target_read_names(node.target, names)
+                for sub in node.target.walk():
+                    in_target.add(id(sub))
+    for stmt in process.body:
+        for node in stmt.walk():
+            if isinstance(node, ast.Identifier) and id(node) not in in_target:
+                names.add(node.name)
+    return names
+
+
+def sensitivity_complete(process):
+    """True when every signal/memory ``process`` reads also wakes it.
+
+    ``always @(*)`` bodies and continuous assigns are complete by
+    construction; explicit level-sensitive lists may be incomplete —
+    a *bug the engine must faithfully simulate*, which constrains the
+    fused kernel: stores whose glitches such a process could observe
+    cannot be elided."""
+    for name in read_set_names(process):
+        entry = process.scope.lookup(name)
+        if isinstance(entry, (Signal, Memory)):
+            listeners = entry.comb_listeners
+            if not any(listener is process for listener in listeners):
+                return False
+    return True
+
+
 def levelize(design):
     """Topological order of the design's comb processes, or ``None``.
 
@@ -95,11 +170,38 @@ def levelize(design):
     successors = [set() for _ in comb]
     indegree = [0] * len(comb)
 
-    for i, process in enumerate(comb):
+    comb_written = set()
+    write_sets = []
+    for process in comb:
         sets = write_set(process)
         if sets is None:
             return None
+        write_sets.append(sets)
         signals, memories = sets
+        comb_written.update(id(entry) for entry in signals)
+        comb_written.update(id(entry) for entry in memories)
+
+    # Order sensitivity check: a process that *reads* a comb-written
+    # signal it does not listen to sees whatever value the scheduler
+    # happened to produce by the time it ran — the worklist's LIFO
+    # order and a topological sweep can legitimately disagree there
+    # (an incomplete `always @(a or b)` list is a bug the engine must
+    # simulate faithfully).  Reads of seq-/port-driven signals are
+    # stable within a comb wave, so only comb-written ones force the
+    # event-driven fallback.
+    for process in comb:
+        for name in read_set_names(process):
+            entry = process.scope.lookup(name)
+            if not isinstance(entry, (Signal, Memory)):
+                continue
+            if id(entry) not in comb_written:
+                continue
+            if not any(listener is process
+                       for listener in entry.comb_listeners):
+                return None
+
+    for i, process in enumerate(comb):
+        signals, memories = write_sets[i]
         for entry in signals + memories:
             for listener in entry.comb_listeners:
                 j = index_of.get(id(listener))

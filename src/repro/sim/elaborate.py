@@ -144,6 +144,67 @@ class Design:
         ]
 
 
+def _scope_descriptor(scope):
+    """Stable description of a process scope for fingerprinting.
+
+    Captures the instance path(s) and every resolved parameter value —
+    the inputs the codegen constant-folder reads — so two elaborations
+    may share a compiled kernel only when the generated code would be
+    identical."""
+    def params_of(plain_scope):
+        return sorted(
+            (name, value.bits, value.width, value.xmask, bool(value.signed))
+            for name, value in plain_scope.params.items()
+        )
+
+    if isinstance(scope, _BindScope):
+        return (
+            "bind",
+            scope.write_scope.path, params_of(scope.write_scope),
+            scope.read_scope.path, params_of(scope.read_scope),
+        )
+    return ("scope", scope.path, params_of(scope))
+
+
+def design_fingerprint(design):
+    """Content hash of everything that shapes compiled code.
+
+    Two designs with equal fingerprints elaborate to structurally and
+    behaviourally identical simulations: same signals (name, width,
+    signedness, kind), same memory shapes, same ports, and the same
+    process list — kind, scope path, resolved parameters, sensitivity
+    and the full statement AST (``repr`` of plain dataclasses, so any
+    body difference changes the hash).  Used as the compiled-kernel
+    cache key (:mod:`repro.sim.compile.cache`)."""
+    import hashlib
+
+    digest = hashlib.sha256()
+
+    def feed(part):
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+
+    feed(design.top_name)
+    feed(sorted(
+        (s.name, s.width, bool(s.signed), s.kind)
+        for s in design.signals.values()
+    ))
+    feed(sorted(
+        (m.name, m.width, m.lo, m.hi, bool(m.signed))
+        for m in design.memories.values()
+    ))
+    feed(sorted(
+        (name, direction, signal.name)
+        for name, (direction, signal) in design.ports.items()
+    ))
+    for process in design.processes:
+        feed(process.kind)
+        feed(_scope_descriptor(process.scope))
+        feed([(edge, signal.name) for edge, signal in process.sensitivity])
+        feed(process.body)
+    return digest.hexdigest()
+
+
 def _range_width(rng, params):
     """Width of a packed range under parameter bindings."""
     if rng is None:

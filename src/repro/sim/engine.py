@@ -55,6 +55,13 @@ class Simulator:
             self.code_coverage = code_coverage or None
         self.time = 0
         self.trace_enabled = trace
+        if not trace:
+            # Opt-out must be cheap: swap in a write path with no
+            # canonical-trace bookkeeping at all (no per-write flag
+            # tests), instead of recording-and-discarding.  Subclasses
+            # that bind self._write_signal during codegen install the
+            # same alias before their compile step runs.
+            self._write_signal = self._write_signal_untraced
         self.trace = {}
         self.event_count = 0
         self._active = []
@@ -275,6 +282,32 @@ class Simulator:
                     or edge == "anyedge"
                 ):
                     # _schedule_clocked, inlined for the clock path.
+                    if id(process) not in self._clocked_set:
+                        self._clocked_set.add(id(process))
+                        self._clocked.append(process)
+
+    def _write_signal_untraced(self, signal, value):
+        """``_write_signal`` minus all trace bookkeeping; installed as
+        the instance's write path when ``trace=False``."""
+        if value.width != signal.width or value.signed != signal.signed:
+            value = value.resize(signal.width, signal.signed)
+        old = signal.value
+        if old.bits == value.bits and old.xmask == value.xmask:
+            return
+        signal.value = value
+        self.event_count += 1
+        for process in signal.comb_listeners:
+            self._schedule_comb(process)
+        if signal.edge_listeners:
+            old_bit = None if (old.xmask & 1) else (old.bits & 1)
+            new_bit = None if (value.xmask & 1) else (value.bits & 1)
+            for edge, process in signal.edge_listeners:
+                if (
+                    (edge == "posedge" and new_bit == 1 and old_bit != 1)
+                    or (edge == "negedge" and new_bit == 0
+                        and old_bit != 0)
+                    or edge == "anyedge"
+                ):
                     if id(process) not in self._clocked_set:
                         self._clocked_set.add(id(process))
                         self._clocked.append(process)
