@@ -27,10 +27,19 @@ would otherwise hide:
   (seq/initial live hooks + stable-point comb replay + trace-derived
   toggles).
 
+- with ``--lanes N``, the same campaign re-run through the
+  lane-packed scheduler (same-design units grouped, up to N stimulus
+  seeds advanced per packed simulation step) must reproduce the
+  scalar compiled campaign *bit-for-bit*: identical HR/FR rate
+  tables, identical per-record coverage fragments, identical merged
+  coverage DB, identical records full stop — lane packing is an
+  execution strategy, never a semantics change.
+
 Usage: python scripts/ci_smoke.py [--jobs N] [--cache-dir DIR]
                                   [--backend interp|compiled|xcheck]
                                   [--skip-backend-diff]
                                   [--coverage-out DB.json]
+                                  [--lanes N]
 """
 
 import argparse
@@ -87,6 +96,10 @@ def main():
     parser.add_argument("--coverage-out", default=None,
                         help="write the smoke campaign's merged "
                              "coverage DB here (CI uploads it)")
+    parser.add_argument("--lanes", type=int, default=0,
+                        help="also re-run the campaign lane-packed at "
+                             "this width and demand bit-identical "
+                             "results vs scalar compiled (0 = skip)")
     args = parser.parse_args()
     if args.backend is None:
         from repro.sim.backend import get_default_backend
@@ -189,6 +202,61 @@ def main():
         print(f"backend parity ok: {args.backend} and {other} post "
               f"identical HR/FR and bit-identical coverage over "
               f"{len(units)} units")
+
+    if args.lanes > 0:
+        # Lane-parity gate: a fresh-cache lane-packed campaign must
+        # reproduce the scalar compiled campaign bit-for-bit.  Both
+        # sides are *measured* (fresh caches), never replayed, so a
+        # lane-vs-scalar divergence cannot hide behind a cache hit.
+        if args.backend == "compiled":
+            scalar_records = cold
+        else:
+            scalar_units = expand_grid(
+                instances, METHODS, attempts=ATTEMPTS, backend="compiled"
+            )
+            scalar_records = CampaignRunner(
+                jobs=args.jobs,
+                cache=ResultCache(tempfile.mkdtemp(prefix="ci-smoke-sc-")),
+            ).run(scalar_units)
+        lane_units = expand_grid(
+            instances, METHODS, attempts=ATTEMPTS, backend="compiled"
+        )
+        lane_cache = ResultCache(tempfile.mkdtemp(prefix="ci-smoke-ln-"))
+        lane_runner = CampaignRunner(jobs=args.jobs, cache=lane_cache,
+                                     lanes=args.lanes)
+        lane_records = lane_runner.run(lane_units)
+        scalar_table = rate_table(scalar_records)
+        lane_table = rate_table(lane_records)
+        if lane_table != scalar_table:
+            return fail(
+                f"lane-packed HR/FR rate table diverges from scalar "
+                f"compiled: lanes={lane_table} vs scalar={scalar_table}"
+            )
+        scalar_db = CoverageDB.from_records(scalar_records)
+        lane_db = CoverageDB.from_records(lane_records)
+        if lane_db.content_key() != scalar_db.content_key():
+            return fail(
+                "lane-packed merged coverage DB diverges from scalar "
+                f"compiled: {lane_db.content_key()[:12]} vs "
+                f"{scalar_db.content_key()[:12]}"
+            )
+        if lane_records != scalar_records:
+            diverged = [
+                scalar_records[i].instance_id
+                for i in range(len(scalar_records))
+                if lane_records[i] != scalar_records[i]
+            ]
+            return fail(
+                f"lane-packed records diverge from scalar compiled "
+                f"(beyond the rate/coverage tables); first offenders: "
+                f"{diverged[:5]}"
+            )
+        stats = lane_runner.lane_stats
+        print(f"lane parity ok at {args.lanes} lanes: "
+              f"{stats['packed_batches']} packed batches, "
+              f"{stats['demoted_batches']} scalar-demoted; records, "
+              f"HR/FR tables and merged coverage bit-identical over "
+              f"{len(lane_units)} units")
 
     print(f"smoke ok: {len(units)} units, warm pass fully cached "
           f"({warm_cache.hits} hits)")

@@ -145,7 +145,7 @@ def _cmd_campaign(args):
         shard_units,
     )
     from repro.runner.cache import record_to_dict
-    from repro.runner.scheduler import default_jobs
+    from repro.runner.scheduler import default_jobs, default_lanes
 
     methods = (
         tuple(args.methods.split(",")) if args.methods else METHODS
@@ -164,6 +164,15 @@ def _cmd_campaign(args):
                   f"(see 'bench-list')", file=sys.stderr)
             return 2
     jobs = args.jobs if args.jobs > 0 else default_jobs()
+    if args.lanes == "auto":
+        lanes = default_lanes()
+    else:
+        try:
+            lanes = max(1, int(args.lanes))
+        except ValueError:
+            print(f"bad --lanes value '{args.lanes}' (want an integer "
+                  f"or 'auto')", file=sys.stderr)
+            return 2
     shard = None
     if args.shard:
         try:
@@ -195,7 +204,7 @@ def _cmd_campaign(args):
             return 0
 
     records = run_units(units, jobs=jobs, cache_dir=args.cache_dir,
-                        show_progress=True)
+                        show_progress=True, lanes=lanes)
 
     print(f"{'method':<14}{'n':>5}{'HR %':>8}{'FR %':>8}{'t (s)':>9}")
     by_method = group_records(records, lambda r: r.method)
@@ -489,6 +498,12 @@ def build_parser():
                           help="simulation backend for every UVM run "
                                "(default: interp, or REPRO_SIM_BACKEND); "
                                "cache records are keyed per backend")
+    campaign.add_argument("--lanes", default="auto",
+                          help="pack up to N stimulus seeds per "
+                               "same-design simulation batch (compiled "
+                               "backend only; records are bit-identical "
+                               "to --lanes 1). 'auto' reads "
+                               "REPRO_SIM_LANES, else 1")
     campaign.add_argument("--records", default=None,
                           help="write per-unit records as JSONL here")
     campaign.add_argument("--coverage-db", default=None,

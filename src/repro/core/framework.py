@@ -59,11 +59,21 @@ class UVLLM:
         self.config = config or UVLLMConfig()
         self.linter = Linter()
 
-    def verify_and_repair(self, source, bench, sequence=None):
+    def verify_and_repair(self, source, bench, sequence=None,
+                          initial_result=None):
         """Run the pipeline on ``source`` against benchmark ``bench``.
 
         ``bench`` supplies the spec, drive protocol, reference model and
         compare signals; ``sequence`` overrides the default HR stimulus.
+
+        ``initial_result`` is an optional precomputed UVM result for
+        ``source`` under ``sequence`` (the lane-packed campaign runner
+        computes one per stimulus seed for a whole group of units in a
+        single packed simulation).  It is only trusted when the
+        pre-processor leaves the source untouched — otherwise the
+        pipeline re-verifies exactly as it would have without it, so
+        outcomes are bit-identical either way; the caller must pass the
+        matching ``sequence``.
         """
         from repro.bench.registry import make_hr_sequence
 
@@ -90,8 +100,12 @@ class UVLLM:
             preprocess_changed=preprocess_changed,
         )
 
-        result = self._run_uvm(current, bench, sequence, timing,
-                               stage="preprocess")
+        if initial_result is not None and not preprocess_changed:
+            result = initial_result
+            self._account(result, timing, stage="preprocess")
+        else:
+            result = self._run_uvm(current, bench, sequence, timing,
+                                   stage="preprocess")
         outcome.pass_rate_history.append(result.pass_rate if result.ok else 0.0)
         if result.all_passed:
             outcome.hit = True
@@ -173,12 +187,15 @@ class UVLLM:
             source, sequence, bench.protocol, bench.model(),
             bench.compare_signals, top=bench.top,
         )
+        self._account(result, timing, stage)
+        return result
+
+    def _account(self, result, timing, stage):
         events = (
             result.simulator.event_count if result.simulator is not None
             else 200
         )
         timing.simulation(events, stage=stage)
-        return result
 
     def _finalize(self, outcome, source, timing, register, calls_before,
                   cost_before):

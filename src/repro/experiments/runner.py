@@ -188,7 +188,8 @@ def _make_method(method, seed, config_overrides=None):
 
 
 def run_method_on_instance(method, instance, attempts=3, base_seed=0,
-                           config_overrides=None, backend=None):
+                           config_overrides=None, backend=None,
+                           shared_initial=None):
     """Run one method on one error instance (pass@``attempts``).
 
     Attempt ``k`` uses LLM seed ``base_seed + k``, making the outcome a
@@ -205,6 +206,14 @@ def run_method_on_instance(method, instance, attempts=3, base_seed=0,
     instance) — roughly a tenth of a unit's cost next to the repair
     loop's own UVM runs, and the price of the campaign-wide coverage
     database being complete rather than opt-in.
+
+    ``shared_initial`` maps ``(hr_seed, stimulus)`` to a
+    ``(sequence, TestResult)`` pair precomputed for this instance's
+    buggy source (by :func:`execute_unit_group`'s lane batch); the
+    UVLLM variants reuse the matching entry as their initial UVM run —
+    which :meth:`UVLLM.verify_and_repair` only trusts when the
+    pre-processor leaves the source unchanged, keeping the record a
+    pure function of the unit's fields.
     """
     backend = backend or get_default_backend()
     bench = get_module(instance.module_name)
@@ -224,9 +233,20 @@ def run_method_on_instance(method, instance, attempts=3, base_seed=0,
             engine = _make_method(method, seed=base_seed + attempt,
                                   config_overrides=config_overrides)
             if method.startswith("uvllm"):
-                outcome = engine.verify_and_repair(
-                    instance.buggy_source, bench
-                )
+                shared = None
+                if shared_initial:
+                    shared = shared_initial.get(
+                        (engine.config.hr_seed, engine.config.stimulus)
+                    )
+                if shared is not None:
+                    outcome = engine.verify_and_repair(
+                        instance.buggy_source, bench,
+                        sequence=shared[0], initial_result=shared[1],
+                    )
+                else:
+                    outcome = engine.verify_and_repair(
+                        instance.buggy_source, bench
+                    )
             else:
                 outcome = engine.repair(instance.buggy_source, bench)
             total_seconds += outcome.seconds
@@ -260,20 +280,104 @@ def run_unit(unit):
     )
 
 
+def _sequence_key(unit):
+    """The ``(hr_seed, stimulus)`` pair naming the HR sequence a
+    uvllm-family unit verifies against (mirrors :func:`_make_method`'s
+    config construction: ``hr_seed`` defaults to 0, ``stimulus`` to
+    the :class:`UVLLMConfig` default, overrides win)."""
+    overrides = dict(unit.config_overrides)
+    return (overrides.get("hr_seed", 0),
+            overrides.get("stimulus", UVLLMConfig.stimulus))
+
+
+def execute_unit_group(units, lanes):
+    """Execute one design-fingerprint group of campaign units.
+
+    Every unit in the group verifies the *same buggy source*, so the
+    initial UVM run of every uvllm-family attempt — always the first
+    and often the heaviest simulation of the repair pipeline — is
+    computed once per distinct ``(hr_seed, stimulus)`` stimulus as one
+    lane-packed batch (:func:`repro.uvm.lanes.run_uvm_test_lanes`:
+    up to ``lanes`` seeds advance per packed ``settle``/``tick``) and
+    shared across all attempts of all units.
+
+    Bit-identity with ungrouped execution holds because (a) the lane
+    runner's per-lane results are bit-identical to scalar compiled
+    runs, and (b) the shared result is only consumed where the scalar
+    path would have recomputed exactly it: ``verify_and_repair``
+    ignores it whenever the pre-processor rewrites the source, and the
+    batch is skipped outright for lint-dirty sources (where rewriting
+    is certain).  Records therefore split back into the exact per-unit
+    cache records a ``--lanes 1`` campaign produces.
+
+    Returns ``(records, lane_infos)``: records in unit order, one
+    ``{"lanes", "packed", "demotion"}`` info dict per batch dispatched
+    (for the campaign's lane-batch counters).
+    """
+    from repro.uvm.lanes import run_uvm_test_lanes
+
+    units = list(units)
+    instance = units[0].instance
+    bench = get_module(instance.module_name)
+    backend = getattr(units[0], "backend", None) or get_default_backend()
+    keys = []
+    for unit in units:
+        if unit.method.startswith("uvllm"):
+            key = _sequence_key(unit)
+            if key not in keys:
+                keys.append(key)
+    if keys and Linter().lint(instance.buggy_source).errors:
+        keys = []
+    shared_initial = {}
+    lane_infos = []
+    width = max(1, int(lanes))
+    with use_backend(backend):
+        for start in range(0, len(keys), width):
+            chunk = keys[start:start + width]
+            sequences = [
+                make_hr_sequence(bench, seed=hr_seed, stimulus=stimulus)
+                for hr_seed, stimulus in chunk
+            ]
+            results, info = run_uvm_test_lanes(
+                instance.buggy_source, sequences, bench.protocol,
+                bench.model, bench.compare_signals, top=bench.top,
+            )
+            lane_infos.append(info)
+            for key, sequence, result in zip(chunk, sequences, results):
+                shared_initial[key] = (sequence, result)
+    records = [
+        run_method_on_instance(
+            unit.method,
+            unit.instance,
+            attempts=unit.attempts,
+            base_seed=unit.base_seed,
+            config_overrides=dict(unit.config_overrides),
+            backend=getattr(unit, "backend", None),
+            shared_initial=shared_initial,
+        )
+        for unit in units
+    ]
+    return records, lane_infos
+
+
 def run_methods(instances, methods, attempts=3, progress=None, jobs=1,
-                cache_dir=None, show_progress=False, backend=None):
+                cache_dir=None, show_progress=False, backend=None,
+                lanes=1):
     """Run several methods over a dataset; returns a list of records.
 
     Record order is instance-major, method-minor regardless of
     ``jobs``.  ``progress`` (if given) is called as
     ``progress(done_units, total_units)`` after each resolved unit;
     ``cache_dir`` memoizes finished records on disk; ``backend``
-    selects the simulation backend for every unit.
+    selects the simulation backend for every unit; ``lanes > 1`` lets
+    the scheduler pack same-design compiled units into lane batches
+    (bit-identical records either way).
     """
     units = expand_grid(instances, methods, attempts=attempts,
                         backend=backend)
     return run_units(units, jobs=jobs, cache_dir=cache_dir,
-                     progress=progress, show_progress=show_progress)
+                     progress=progress, show_progress=show_progress,
+                     lanes=lanes)
 
 
 def group_records(records, key):

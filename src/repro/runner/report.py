@@ -22,7 +22,27 @@ def format_kernel_stats(kernels):
     return text
 
 
-def format_progress(done, total, elapsed, cached=0, kernels=None):
+def format_lane_stats(lanes):
+    """Lane-batch summary fragment, or "" when no batches ran.
+
+    Reads ``lanes {width}x{packed} packed / {demoted} scalar-demoted``:
+    how many batches actually advanced ``width`` seeds per packed step
+    versus falling back to per-lane scalar simulation.
+    """
+    if not lanes:
+        return ""
+    packed = lanes.get("packed_batches", 0)
+    demoted = lanes.get("demoted_batches", 0)
+    if not packed and not demoted:
+        return ""
+    text = f" lanes {lanes.get('lanes', 0)}x{packed} packed"
+    if demoted:
+        text += f" / {demoted} scalar-demoted"
+    return text
+
+
+def format_progress(done, total, elapsed, cached=0, kernels=None,
+                    lanes=None):
     """Render one status line; pure function for testability."""
     percent = 100.0 * done / total if total else 100.0
     executed = done - cached
@@ -35,7 +55,7 @@ def format_progress(done, total, elapsed, cached=0, kernels=None):
     cached_text = f" ({cached} cached)" if cached else ""
     return (f"[campaign] {done}/{total} units ({percent:.0f}%)"
             f"{cached_text} elapsed {_duration(elapsed)}{eta_text}"
-            f"{format_kernel_stats(kernels)}")
+            f"{format_kernel_stats(kernels)}{format_lane_stats(lanes)}")
 
 
 def _duration(seconds):
@@ -59,20 +79,22 @@ class ProgressReporter:
         self.done = 0
         self.cached = 0
 
-    def update(self, done, cached=0, kernels=None):
+    def update(self, done, cached=0, kernels=None, lanes=None):
         """Advance to ``done`` completed units (``cached`` of them
         hits); ``kernels`` is the compiled-kernel cache aggregate so
-        far (compile/hit counters stream live)."""
+        far (compile/hit counters stream live), ``lanes`` the
+        lane-batch aggregate."""
         self.done, self.cached = done, cached
         now = self.clock()
         if now - self._last_emit < self.min_interval and done < self.total:
             return
         self._last_emit = now
         line = format_progress(done, self.total, now - self.started,
-                               cached=cached, kernels=kernels)
+                               cached=cached, kernels=kernels,
+                               lanes=lanes)
         print(line, file=self.stream, flush=True)
 
-    def finish(self, kernels=None):
+    def finish(self, kernels=None, lanes=None):
         elapsed = self.clock() - self.started
         executed = self.done - self.cached
         kernel_text = ""
@@ -84,9 +106,17 @@ class ProgressReporter:
                 f"compiled, {hits} hits "
                 f"({kernels.get('disk_hits', 0)} from disk)"
             )
+        lane_text = ""
+        if lanes and (lanes.get("packed_batches")
+                      or lanes.get("demoted_batches")):
+            lane_text = (
+                f"; lane batches: {lanes.get('packed_batches', 0)} "
+                f"packed x{lanes.get('lanes', 0)}, "
+                f"{lanes.get('demoted_batches', 0)} scalar-demoted"
+            )
         print(
             f"[campaign] finished {self.done}/{self.total} units in "
             f"{_duration(elapsed)} ({executed} executed, "
-            f"{self.cached} from cache{kernel_text})",
+            f"{self.cached} from cache{kernel_text}{lane_text})",
             file=self.stream, flush=True,
         )

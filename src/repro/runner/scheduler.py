@@ -47,6 +47,21 @@ def _execute_with_kernel_stats(executor, unit):
     return record, kernel_cache.stats_delta(before)
 
 
+def _execute_group_with_kernel_stats(units, lanes):
+    """Run one design-fingerprint unit group (top-level: picklable).
+
+    Returns ``(records, lane_infos, kernel_delta)`` — the group's
+    records in unit order plus the lane-batch info dicts and kernel
+    cache movement for the parent's campaign-wide counters.
+    """
+    from repro.experiments.runner import execute_unit_group
+    from repro.sim.compile import cache as kernel_cache
+
+    before = kernel_cache.stats()
+    records, lane_infos = execute_unit_group(units, lanes)
+    return records, lane_infos, kernel_cache.stats_delta(before)
+
+
 class CampaignRunner:
     """Executes a list of work units with caching and parallelism.
 
@@ -55,22 +70,46 @@ class CampaignRunner:
     work units through the experiments layer; the fuzz campaign passes
     :func:`repro.fuzz.campaign.execute_fuzz_unit`).  Units only need a
     ``cache_key()`` method when a cache is attached.
+
+    ``lanes > 1`` turns on lane-packed dispatch: cache-missing
+    compiled-backend campaign units sharing a ``design_fingerprint``
+    are executed as one group whose initial verification runs advance
+    up to ``lanes`` stimulus seeds per packed simulation step
+    (:func:`repro.experiments.runner.execute_unit_group`).  Grouping
+    never changes a record — every unit still lands in the cache under
+    its own content key — so ``lanes=N`` and ``lanes=1`` campaigns are
+    bit-identical.  Only the default executor understands grouping;
+    custom executors always run unit-at-a-time.
     """
 
-    def __init__(self, jobs=1, cache=None, reporter=None, executor=None):
+    def __init__(self, jobs=1, cache=None, reporter=None, executor=None,
+                 lanes=1):
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.reporter = reporter
         self.executor = executor if executor is not None else execute_unit
+        self.lanes = max(1, int(lanes))
         #: Aggregated compiled-kernel cache movement across all
         #: executed units (including pool workers' deltas).
         self.kernel_stats = {"compiled": 0, "memo_hits": 0,
                              "disk_hits": 0}
+        #: Lane-batch movement: how many packed batches ran (at
+        #: ``lanes`` width) and how many fell back to per-lane scalar
+        #: simulation (demoted designs / non-aligned stimulus).
+        self.lane_stats = {"lanes": self.lanes, "packed_batches": 0,
+                           "demoted_batches": 0}
 
     def _absorb_kernel_stats(self, delta):
         for key, value in delta.items():
             if key in self.kernel_stats:
                 self.kernel_stats[key] += value
+
+    def _absorb_lane_stats(self, lane_infos):
+        for info in lane_infos:
+            if info.get("packed"):
+                self.lane_stats["packed_batches"] += 1
+            else:
+                self.lane_stats["demoted_batches"] += 1
 
     def run(self, units, progress=None):
         """Execute ``units``; returns records in the same order.
@@ -89,7 +128,8 @@ class CampaignRunner:
             cached += 1 if is_hit else 0
             if self.reporter is not None:
                 self.reporter.update(done, cached=cached,
-                                     kernels=self.kernel_stats)
+                                     kernels=self.kernel_stats,
+                                     lanes=self.lane_stats)
             if progress is not None:
                 progress(done, total)
 
@@ -108,32 +148,43 @@ class CampaignRunner:
             else:
                 pending.append(position)
 
-        if pending and self.jobs == 1:
-            for position in pending:
-                record, kernel_delta = _execute_with_kernel_stats(
-                    self.executor, units[position]
-                )
-                self._absorb_kernel_stats(kernel_delta)
-                results[position] = record
-                self._store(units[position], record)
-                advance(False)
-        elif pending:
-            workers = min(self.jobs, len(pending))
+        def land(position, record):
+            results[position] = record
+            self._store(units[position], record)
+            advance(False)
+
+        tasks = self._plan_tasks(units, pending)
+
+        if tasks and self.jobs == 1:
+            for positions in tasks:
+                for position, record in zip(
+                    positions, self._execute_task(units, positions)
+                ):
+                    land(position, record)
+        elif tasks:
+            workers = min(self.jobs, len(tasks))
             first_error = None
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=workers
             ) as pool:
-                futures = {
-                    pool.submit(
-                        _execute_with_kernel_stats, self.executor,
-                        units[position],
-                    ): position
-                    for position in pending
-                }
+                futures = {}
+                for positions in tasks:
+                    if len(positions) == 1:
+                        future = pool.submit(
+                            _execute_with_kernel_stats, self.executor,
+                            units[positions[0]],
+                        )
+                    else:
+                        future = pool.submit(
+                            _execute_group_with_kernel_stats,
+                            [units[position] for position in positions],
+                            self.lanes,
+                        )
+                    futures[future] = positions
                 for future in concurrent.futures.as_completed(futures):
-                    position = futures[future]
+                    positions = futures[future]
                     try:
-                        record, kernel_delta = future.result()
+                        payload = future.result()
                     except concurrent.futures.CancelledError:
                         continue
                     except Exception as exc:
@@ -145,16 +196,68 @@ class CampaignRunner:
                             first_error = exc
                             pool.shutdown(wait=False, cancel_futures=True)
                         continue
+                    if len(positions) == 1:
+                        record, kernel_delta = payload
+                        records = [record]
+                    else:
+                        records, lane_infos, kernel_delta = payload
+                        self._absorb_lane_stats(lane_infos)
                     self._absorb_kernel_stats(kernel_delta)
-                    results[position] = record
-                    self._store(units[position], record)
-                    advance(False)
+                    for position, record in zip(positions, records):
+                        land(position, record)
             if first_error is not None:
                 raise first_error
 
         if self.reporter is not None:
-            self.reporter.finish(kernels=self.kernel_stats)
+            self.reporter.finish(kernels=self.kernel_stats,
+                                 lanes=self.lane_stats)
         return results
+
+    def _plan_tasks(self, units, pending):
+        """Partition pending positions into dispatch tasks.
+
+        Each task is a list of grid positions executed together: lane
+        grouping collects compiled-backend campaign units by design
+        fingerprint; everything else stays a singleton.  Order is
+        first-seen grid order, so ``jobs=1`` execution remains
+        deterministic.
+        """
+        if self.lanes <= 1 or self.executor is not execute_unit:
+            return [[position] for position in pending]
+        tasks = []
+        groups = {}
+        for position in pending:
+            unit = units[position]
+            fingerprint = (
+                getattr(unit, "design_fingerprint", None)
+                if getattr(unit, "backend", None) == "compiled" else None
+            )
+            if fingerprint is None:
+                tasks.append([position])
+                continue
+            group = groups.get(fingerprint)
+            if group is None:
+                group = groups[fingerprint] = []
+                tasks.append(group)
+            group.append(position)
+        return tasks
+
+    def _execute_task(self, units, positions):
+        """Serial-path execution of one task; returns records in
+        ``positions`` order."""
+        if len(positions) == 1:
+            record, kernel_delta = _execute_with_kernel_stats(
+                self.executor, units[positions[0]]
+            )
+            self._absorb_kernel_stats(kernel_delta)
+            return [record]
+        records, lane_infos, kernel_delta = \
+            _execute_group_with_kernel_stats(
+                [units[position] for position in positions], self.lanes
+            )
+        self._absorb_kernel_stats(kernel_delta)
+        self._absorb_lane_stats(lane_infos)
+        return records
 
     def _store(self, unit, record):
         if self.cache is not None:
@@ -181,7 +284,7 @@ def _restamp(record, instance):
 
 def run_units(units, jobs=1, cache_dir=None, progress=None,
               show_progress=False, reporter=None, cache=None,
-              executor=None):
+              executor=None, lanes=1):
     """Convenience front door used by the experiment drivers.
 
     ``cache_dir`` of ``None`` disables memoization; an explicit
@@ -189,7 +292,9 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
     :class:`ResultCache` with a custom codec) wins over ``cache_dir``.
     ``show_progress`` attaches a stderr :class:`ProgressReporter`
     (explicit ``reporter`` wins); ``executor`` overrides the campaign
-    unit-execution primitive.
+    unit-execution primitive; ``lanes > 1`` enables lane-packed
+    dispatch of same-design compiled units (records stay
+    bit-identical to a ``lanes=1`` run).
     """
     units = list(units)
     from repro.sim.compile import cache as kernel_cache
@@ -207,7 +312,7 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
     if reporter is None and show_progress and units:
         reporter = ProgressReporter(len(units))
     runner = CampaignRunner(jobs=jobs, cache=cache, reporter=reporter,
-                            executor=executor)
+                            executor=executor, lanes=lanes)
     with kernel_cache.disk_cache(kernel_dir):
         return runner.run(units, progress=progress)
 
@@ -215,3 +320,13 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
 def default_jobs():
     """A sensible ``--jobs auto`` value: physical parallelism, capped."""
     return min(8, os.cpu_count() or 1)
+
+
+def default_lanes():
+    """The ``--lanes auto`` value: the ``REPRO_SIM_LANES`` environment
+    override, else 1 — lane packing stays opt-in because it only pays
+    off on compiled-backend campaigns with repeated designs."""
+    try:
+        return max(1, int(os.environ.get("REPRO_SIM_LANES", "1")))
+    except ValueError:
+        return 1

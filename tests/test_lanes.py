@@ -1,0 +1,305 @@
+"""Lane-packed simulation tests.
+
+Covers the lane batch itself (per-lane x-prop isolation, per-lane
+early stop, demotion policy, lane-program memoization), the fused UVM
+lane runner (bit-identical per-lane results vs scalar compiled runs,
+misalignment fallback, uneven stream lengths), and the campaign
+integration (fingerprint grouping, chunking when the lane count does
+not divide the batch, ``lanes=N`` vs ``lanes=1`` record identity).
+"""
+
+import pytest
+
+from repro.bench.registry import get_module, make_hr_sequence
+from repro.errgen.generator import generate_dataset
+from repro.runner.grid import expand_grid
+from repro.runner.report import format_lane_stats, format_progress
+from repro.runner.scheduler import CampaignRunner
+from repro.sim.backend import use_backend
+from repro.sim.compile import cache as kernel_cache
+from repro.sim.compile.lanes import (
+    PackedLaneBatch,
+    ScalarLaneBatch,
+    make_lane_batch,
+)
+from repro.sim.values import Value
+from repro.uvm.lanes import run_uvm_test_lanes
+from repro.uvm.test import run_uvm_test
+
+COMB = """
+module comb(input [3:0] a, input [3:0] b, output [3:0] y);
+  assign y = a + b;
+endmodule
+"""
+
+CNT = """
+module cnt(input clk, input rst, output reg [7:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 8'd0;
+    else q <= q + 8'd1;
+  end
+endmodule
+"""
+
+
+def _drive_reset(batch, lanes):
+    for lane in range(lanes):
+        batch.poke("rst", lane, Value(1, 1))
+    batch.settle()
+    batch.tick("clk", cycles=1)
+    for lane in range(lanes):
+        batch.poke("rst", lane, Value(0, 1))
+    batch.settle()
+
+
+# -- per-lane isolation ------------------------------------------------------
+
+def test_xprop_isolated_per_lane():
+    """An all-x input on one lane must not leak x into its siblings."""
+    batch = make_lane_batch(COMB, 4, trace=False)
+    assert batch.packed
+    values = [Value(1, 4), Value(0, 4, 0xF), Value(2, 4), Value(15, 4)]
+    for lane, value in enumerate(values):
+        batch.poke("a", lane, value)
+        batch.poke("b", lane, Value(1, 4))
+    batch.settle()
+    assert batch.get("y", 0) == Value(2, 4)
+    assert batch.get("y", 0).xmask == 0
+    assert batch.get("y", 1).xmask == 0xF
+    assert batch.get("y", 2) == Value(3, 4)
+    assert batch.get("y", 2).xmask == 0
+    assert batch.get("y", 3) == Value(0, 4)
+    assert batch.get("y", 3).xmask == 0
+
+
+def test_per_lane_early_stop():
+    """A stopped lane freezes its state, time and event count while
+    the survivors keep advancing."""
+    lanes = 3
+    batch = make_lane_batch(CNT, lanes, trace=False)
+    assert batch.packed
+    _drive_reset(batch, lanes)
+    batch.tick("clk", cycles=3)
+    assert [batch.get("q", lane).to_int() for lane in range(lanes)] == \
+        [3, 3, 3]
+    frozen_time = batch.lane_time(1)
+    frozen_events = batch.lane_event_count(1)
+    batch.stop_lane(1)
+    assert not batch.lane_active(1)
+    batch.tick("clk", cycles=2)
+    assert batch.get("q", 0).to_int() == 5
+    assert batch.get("q", 1).to_int() == 3
+    assert batch.get("q", 2).to_int() == 5
+    assert batch.lane_time(1) == frozen_time
+    assert batch.lane_event_count(1) == frozen_events
+    assert batch.lane_time(0) == frozen_time + 2 * 10
+
+
+# -- demotion policy ---------------------------------------------------------
+
+def test_demotion_falls_back_to_scalar_batch():
+    """Designs whose lane codegen would shim processes per lane demote
+    to the scalar fallback batch (with a reason), unless the caller
+    forces packing (the parity oracle does, to keep shim paths under
+    differential test)."""
+    demoted = None
+    for bench in (get_module("multi_booth"), get_module("div_16bit")):
+        batch = make_lane_batch(bench.source, 4, trace=False,
+                                top=bench.top)
+        if isinstance(batch, ScalarLaneBatch):
+            demoted = bench
+            assert batch.demotion
+            break
+    assert demoted is not None, "expected at least one demoted design"
+    forced = make_lane_batch(demoted.source, 4, trace=False,
+                             top=demoted.top, force_packed=True)
+    assert isinstance(forced, PackedLaneBatch)
+    assert forced.packed and forced.demotion is None
+
+
+def test_lane_program_memoized():
+    kernel_cache.clear_lane_memo()
+    before = kernel_cache.stats()
+    make_lane_batch(COMB, 4, trace=False)
+    make_lane_batch(COMB, 4, trace=False)
+    delta = kernel_cache.stats_delta(before)
+    assert delta["lane_compiled"] == 1
+    assert delta["lane_memo_hits"] >= 1
+
+
+# -- fused UVM lane runner ---------------------------------------------------
+
+def _scalar_results(bench, source, seqs):
+    return [
+        run_uvm_test(source, seq, bench.protocol, bench.model(),
+                     bench.compare_signals, top=bench.top,
+                     backend="compiled")
+        for seq in seqs
+    ]
+
+
+def _assert_result_parity(lane_results, scalar_results):
+    for a, b in zip(lane_results, scalar_results):
+        assert a.ok == b.ok and a.error == b.error
+        assert a.pass_rate == b.pass_rate and a.checked == b.checked
+        assert a.coverage == b.coverage
+        assert a.trace == b.trace
+        assert len(a.mismatches) == len(b.mismatches)
+        for ma, mb in zip(a.mismatches, b.mismatches):
+            assert (ma.time, ma.signal, ma.expected, ma.actual,
+                    ma.inputs) == (mb.time, mb.signal, mb.expected,
+                                   mb.actual, mb.inputs)
+        assert a.simulator.event_count == b.simulator.event_count
+        assert a.simulator.time == b.simulator.time
+
+
+@pytest.mark.parametrize("name", ["counter_12", "adder_8bit",
+                                  "edge_detect"])
+def test_uvm_lane_runner_matches_scalar(name):
+    """Per-lane TestResults from one packed run are bit-identical to
+    scalar compiled runs of the same sequences (the --lanes N
+    acceptance contract), including with uneven stream lengths."""
+    bench = get_module(name)
+    seqs = [list(make_hr_sequence(bench, seed=seed)) for seed in range(4)]
+    seqs[2] = seqs[2][:len(seqs[2]) // 2]  # early-stop lane
+    results, info = run_uvm_test_lanes(
+        bench.source, seqs, bench.protocol, bench.model,
+        bench.compare_signals, top=bench.top,
+    )
+    assert info["lanes"] == 4
+    assert info["packed"] and info["demotion"] is None
+    _assert_result_parity(results, _scalar_results(bench, bench.source,
+                                                   seqs))
+
+
+def test_uvm_lane_runner_matches_scalar_on_buggy_source():
+    """Mismatch records (the fused scoreboard sampling path under
+    failures) are lane-exact too."""
+    for instance in generate_dataset(seed=7)[:16]:
+        bench = get_module(instance.module_name)
+        seqs = [list(make_hr_sequence(bench, seed=seed))
+                for seed in range(3)]
+        scalars = _scalar_results(bench, instance.buggy_source, seqs)
+        if not any(len(r.mismatches) for r in scalars):
+            continue
+        results, info = run_uvm_test_lanes(
+            instance.buggy_source, seqs, bench.protocol, bench.model,
+            bench.compare_signals, top=bench.top,
+        )
+        _assert_result_parity(results, scalars)
+        return
+    pytest.fail("no mutant in the sample produced mismatches")
+
+
+def test_uvm_lane_runner_misalignment_falls_back():
+    bench = get_module("adder_8bit")
+    aligned = list(make_hr_sequence(bench, seed=0))
+    skewed = [txn.copy() for txn in make_hr_sequence(bench, seed=1)]
+    skewed[0].hold_cycles += 1
+    results, info = run_uvm_test_lanes(
+        bench.source, [aligned, skewed], bench.protocol, bench.model,
+        bench.compare_signals, top=bench.top,
+    )
+    assert not info["packed"]
+    assert info["demotion"] == "sequences not shape-aligned"
+    _assert_result_parity(results, _scalar_results(
+        bench, bench.source, [aligned, skewed]))
+
+
+# -- campaign integration ----------------------------------------------------
+
+def _units(instances, methods, backend="compiled", attempts=2):
+    return expand_grid(instances, methods, attempts=attempts,
+                       backend=backend)
+
+
+@pytest.mark.campaign
+def test_campaign_lanes_bit_identical():
+    """lanes=N and lanes=1 campaigns produce equal records — verdicts,
+    modelled seconds, stages, coverage fragments, everything."""
+    instances = generate_dataset(seed=0, per_operator=1, target=None,
+                                 modules=["counter_12"])
+    scalar = CampaignRunner(jobs=1).run(
+        _units(instances, ("uvllm", "meic")))
+    runner = CampaignRunner(jobs=1, lanes=4)
+    packed = runner.run(_units(instances, ("uvllm", "meic")))
+    assert packed == scalar
+    stats = runner.lane_stats
+    assert stats["lanes"] == 4
+    assert stats["packed_batches"] + stats["demoted_batches"] > 0
+
+
+@pytest.mark.campaign
+def test_campaign_grouping_only_for_compiled_backend():
+    instances = generate_dataset(seed=0, per_operator=1, target=None,
+                                 modules=["counter_12"])[:2]
+    runner = CampaignRunner(jobs=1, lanes=4)
+    records = runner.run(_units(instances, ("uvllm",), backend="interp"))
+    assert all(record is not None for record in records)
+    assert runner.lane_stats["packed_batches"] == 0
+    assert runner.lane_stats["demoted_batches"] == 0
+
+
+def test_unit_group_chunks_when_lanes_do_not_divide():
+    """Three distinct stimulus seeds at width 2 pack as a 2-lane batch
+    plus a 1-lane remainder — and still reproduce ungrouped records."""
+    from repro.experiments.runner import (
+        execute_unit_group,
+        run_method_on_instance,
+    )
+    from repro.runner.grid import WorkUnit
+
+    from repro.lint.linter import Linter
+
+    instance = next(
+        inst for inst in generate_dataset(seed=0, per_operator=1,
+                                          target=None,
+                                          modules=["counter_12"])
+        if not Linter().lint(inst.buggy_source).errors
+    )
+    units = [
+        WorkUnit(index=i, instance=instance, method="uvllm", attempts=1,
+                 config_overrides=(("hr_seed", i),), backend="compiled")
+        for i in range(3)
+    ]
+    assert len({unit.design_fingerprint for unit in units}) == 1
+    records, lane_infos = execute_unit_group(units, lanes=2)
+    assert [info["lanes"] for info in lane_infos] == [2, 1]
+    with use_backend("compiled"):
+        expected = [
+            run_method_on_instance(
+                "uvllm", instance, attempts=1,
+                config_overrides=dict(unit.config_overrides),
+                backend="compiled",
+            )
+            for unit in units
+        ]
+    assert records == expected
+
+
+def test_design_fingerprint_not_in_cache_key():
+    instances = generate_dataset(seed=0, per_operator=1, target=None,
+                                 modules=["counter_12"])[:1]
+    unit = _units(instances, ("uvllm",))[0]
+    assert unit.design_fingerprint
+    # Grouping is an execution strategy: the cache key must not change
+    # with it, so lane and scalar campaigns share records.
+    assert unit.design_fingerprint not in unit.cache_key()
+
+
+# -- reporting ---------------------------------------------------------------
+
+def test_format_lane_stats():
+    assert format_lane_stats(None) == ""
+    assert format_lane_stats({"lanes": 8, "packed_batches": 0,
+                              "demoted_batches": 0}) == ""
+    assert format_lane_stats(
+        {"lanes": 8, "packed_batches": 5, "demoted_batches": 0}
+    ) == " lanes 8x5 packed"
+    assert format_lane_stats(
+        {"lanes": 4, "packed_batches": 3, "demoted_batches": 2}
+    ) == " lanes 4x3 packed / 2 scalar-demoted"
+    line = format_progress(3, 10, 5.0, cached=1,
+                           lanes={"lanes": 8, "packed_batches": 2,
+                                  "demoted_batches": 0})
+    assert "lanes 8x2 packed" in line
