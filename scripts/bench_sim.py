@@ -56,6 +56,14 @@ def bench_module(bench, repeat, trace):
         row["cycles"] = cycles
         row[f"{backend}_seconds"] = best
         row[f"{backend}_cps"] = cycles / best if best > 0 else 0.0
+        # One extra pass with per-phase accounting, outside the timed
+        # best-of region so the wrapper overhead never touches the
+        # headline cycles/sec (keys are additive: baseline comparison
+        # reads only compiled_cps and ignores them).
+        phases = {}
+        drive(bench, backend, vectors, trace, phase_totals=phases)
+        row[f"{backend}_settle_seconds"] = phases.get("settle", 0.0)
+        row[f"{backend}_tick_seconds"] = phases.get("tick", 0.0)
     row["speedup"] = (
         row["interp_seconds"] / row["compiled_seconds"]
         if row["compiled_seconds"] > 0 else 0.0

@@ -35,20 +35,30 @@ would otherwise hide:
   coverage DB, identical records full stop — lane packing is an
   execution strategy, never a semantics change.
 
+- the cold pass runs inside a telemetry scope and its span tree must
+  contain every expected campaign phase (parse, elaborate, simulate,
+  attempt, cache traffic, ...) — a missing phase means the
+  instrumentation silently fell off a layer while the report pipeline
+  kept rendering plausible output; write the merged JSONL and a
+  markdown summary with ``--telemetry-out`` for the CI artifact.
+
 Usage: python scripts/ci_smoke.py [--jobs N] [--cache-dir DIR]
                                   [--backend interp|compiled|xcheck]
                                   [--skip-backend-diff]
                                   [--coverage-out DB.json]
                                   [--lanes N]
+                                  [--telemetry-out DIR]
 """
 
 import argparse
+import os
 import sys
 import tempfile
 
 from repro.cover.db import CoverageDB
 from repro.errgen.generator import generate_dataset
 from repro.experiments.runner import group_records, rates
+from repro.obs import export, sink, trace
 from repro.runner import ResultCache, expand_grid
 from repro.runner.scheduler import CampaignRunner
 
@@ -59,6 +69,13 @@ ATTEMPTS = 2
 #: Measured ~97.5 on the seed suite; the floor leaves headroom for
 #: dataset drift but still catches a stimulus regression outright.
 COVERAGE_FLOOR = 95.0
+#: Span names the cold smoke campaign must emit.  Each one anchors a
+#: different instrumentation layer (scheduler, repair loop, UVM run,
+#: HDL front-end, result cache, simulated LLM); losing any of them
+#: means a refactor silently detached that layer from the telemetry
+#: pipeline while reports kept rendering plausible output.
+REQUIRED_SPANS = ("campaign", "unit", "attempt", "simulate", "parse",
+                  "elaborate", "cache-read", "cache-write", "repair-llm")
 
 
 def fail(message):
@@ -100,6 +117,10 @@ def main():
                         help="also re-run the campaign lane-packed at "
                              "this width and demand bit-identical "
                              "results vs scalar compiled (0 = skip)")
+    parser.add_argument("--telemetry-out", default=None,
+                        help="write the cold campaign's merged "
+                             "telemetry JSONL and markdown summary "
+                             "under this directory (CI uploads both)")
     args = parser.parse_args()
     if args.backend is None:
         from repro.sim.backend import get_default_backend
@@ -123,13 +144,42 @@ def main():
     if not units:
         return fail("campaign grid is empty")
 
+    # The cold pass is the telemetry gate: it is the only pass where
+    # every unit genuinely executes, so every instrumentation layer
+    # must light up (warm/parity passes legitimately skip phases).
+    telemetry_dir = (os.path.join(args.telemetry_out, "shards")
+                     if args.telemetry_out
+                     else tempfile.mkdtemp(prefix="ci-smoke-tele-"))
     cold_cache = ResultCache(unit_cache_dir)
-    cold = CampaignRunner(jobs=args.jobs, cache=cold_cache).run(units)
+    with sink.telemetry_scope(telemetry_dir):
+        with trace.span("campaign", cat="scheduler", units=len(units),
+                        jobs=args.jobs):
+            cold = CampaignRunner(jobs=args.jobs,
+                                  cache=cold_cache).run(units)
     if len(cold) != len(units) or any(r is None for r in cold):
         return fail("campaign dropped work units")
     if cold_cache.writes != len(units):
         return fail("cold pass resolved from a pre-warmed cache — "
                     "nothing was actually executed")
+
+    spans, span_metrics = sink.read_shards(telemetry_dir)
+    span_names = {item.get("name") for item in spans}
+    missing = [name for name in REQUIRED_SPANS if name not in span_names]
+    if missing:
+        return fail(f"campaign span tree is missing expected phases "
+                    f"{missing} — telemetry instrumentation regressed")
+    print(f"telemetry ok: {len(spans)} spans across "
+          f"{len(span_names)} phases")
+    if args.telemetry_out:
+        merged = sink.write_merged(
+            telemetry_dir, os.path.join(args.telemetry_out,
+                                        "merged.jsonl"))
+        report = export.summarize(spans, span_metrics)
+        summary_path = os.path.join(args.telemetry_out, "summary.md")
+        with open(summary_path, "w") as handle:
+            handle.write(export.render_summary(report, markdown=True)
+                         + "\n")
+        print(f"telemetry artifacts: {merged} and {summary_path}")
 
     by_method = group_records(cold, lambda r: r.method)
     for method in METHODS:

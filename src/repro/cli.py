@@ -22,6 +22,11 @@ Commands:
 - ``profile --bench <name>`` — run a bench workload under ``cProfile``
   on either backend and print the top cumulative hotspots, so perf
   work starts from data;
+- ``report <telemetry-dir>`` — summarize the span/metrics shards a
+  ``--telemetry`` campaign or fuzz run wrote: per-phase wall-time
+  breakdown, cache hit rates, per-module cycles/sec, slowest units,
+  lane-demotion histogram; ``--trace-out`` exports a Chrome
+  trace-event JSON loadable in Perfetto;
 - ``fuzz`` — differential fuzzing: generate seeded random designs
   and run each through the xcheck lockstep + printer round-trip +
   coverage-parity oracle; failures are delta-debugged to minimal
@@ -203,8 +208,20 @@ def _cmd_campaign(args):
                   f"nothing to do", file=sys.stderr)
             return 0
 
+    if args.telemetry and not args.cache_dir:
+        print("--telemetry needs --cache-dir (shards live under "
+              "<cache-dir>/telemetry/)", file=sys.stderr)
+        return 2
     records = run_units(units, jobs=jobs, cache_dir=args.cache_dir,
-                        show_progress=True, lanes=lanes)
+                        show_progress=True, lanes=lanes,
+                        telemetry=args.telemetry)
+    if args.telemetry:
+        import os
+
+        telemetry_dir = os.path.join(args.cache_dir, "telemetry")
+        print(f"telemetry shards written under {telemetry_dir}; "
+              f"summarize with: repro.cli report {telemetry_dir}",
+              file=sys.stderr)
 
     print(f"{'method':<14}{'n':>5}{'HR %':>8}{'FR %':>8}{'t (s)':>9}")
     by_method = group_records(records, lambda r: r.method)
@@ -340,9 +357,13 @@ def _holes_from_model(model):
 
 
 def _cmd_fuzz(args):
+    import contextlib
+    import os
+
     from repro.fuzz.campaign import run_fuzz
     from repro.fuzz.corpus import make_entry, save_reproducer
     from repro.fuzz.shrink import shrink
+    from repro.obs import sink, trace
     from repro.runner import parse_shard
     from repro.runner.scheduler import default_jobs
 
@@ -354,6 +375,24 @@ def _cmd_fuzz(args):
             print(exc, file=sys.stderr)
             return 2
     jobs = args.jobs if args.jobs > 0 else default_jobs()
+    if args.telemetry and not args.cache_dir:
+        print("--telemetry needs --cache-dir (shards live under "
+              "<cache-dir>/telemetry/)", file=sys.stderr)
+        return 2
+    # The telemetry scope wraps the whole command (not just run_fuzz)
+    # so parent-side shrinking shows up in the same shard set.
+    telemetry_dir = (
+        os.path.join(args.cache_dir, "telemetry")
+        if args.telemetry else None
+    )
+    with contextlib.ExitStack() as scope:
+        scope.enter_context(sink.telemetry_scope(telemetry_dir))
+        return _run_fuzz_command(args, shard, jobs, run_fuzz, shrink,
+                                 make_entry, save_reproducer, trace)
+
+
+def _run_fuzz_command(args, shard, jobs, run_fuzz, shrink, make_entry,
+                      save_reproducer, trace):
     summary = run_fuzz(
         args.count, seed=args.seed, cycles=args.cycles, jobs=jobs,
         cache_dir=args.cache_dir, shard=shard,
@@ -380,7 +419,9 @@ def _cmd_fuzz(args):
         print(f"  seed {verdict['design_seed']}: {kind} — "
               f"{verdict['failure']['detail'][:200]}", file=sys.stderr)
         if args.shrink:
-            result = shrink(source, ops, kind)
+            with trace.span("shrink", cat="fuzz",
+                            seed=verdict["design_seed"]):
+                result = shrink(source, ops, kind)
             print(f"    shrunk {len(source)} -> {len(result.source)} "
                   f"chars, {len(ops)} -> {len(result.ops)} ops "
                   f"({result.checks} oracle checks)", file=sys.stderr)
@@ -418,7 +459,36 @@ def _cmd_profile(args):
     profile_bench(
         bench, backend=args.backend, trace=args.trace,
         repeat=args.repeat, top_n=args.top, sort=args.sort,
+        spans=args.spans,
     )
+    return 0
+
+
+def _cmd_report(args):
+    import json
+
+    from repro.obs import export, sink
+
+    spans, metrics = sink.read_shards(args.telemetry_dir)
+    if not spans and not metrics.counters and not metrics.histograms:
+        print(f"no telemetry shards found under {args.telemetry_dir}",
+              file=sys.stderr)
+        return 1
+    report = export.summarize(spans, metrics, top=args.top)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(export.render_summary(report, markdown=args.markdown),
+              end="")
+    if args.trace_out:
+        export.write_chrome_trace(spans, args.trace_out)
+        print(f"chrome trace written to {args.trace_out} "
+              f"(load at ui.perfetto.dev or chrome://tracing)",
+              file=sys.stderr)
+    if args.merged_out:
+        sink.write_merged(args.telemetry_dir, args.merged_out)
+        print(f"merged telemetry JSONL written to {args.merged_out}",
+              file=sys.stderr)
     return 0
 
 
@@ -509,6 +579,10 @@ def build_parser():
     campaign.add_argument("--coverage-db", default=None,
                           help="write this run's merged coverage DB "
                                "(deterministic JSON) here")
+    campaign.add_argument("--telemetry", action="store_true",
+                          help="record span/metrics shards under "
+                               "<cache-dir>/telemetry/ (records and "
+                               "coverage stay bit-identical)")
     campaign.set_defaults(func=_cmd_campaign)
 
     coverage = sub.add_parser(
@@ -550,7 +624,33 @@ def build_parser():
                          help="pstats sort key")
     profile.add_argument("--trace", action="store_true",
                          help="profile with value-change tracing on")
+    profile.add_argument("--spans", action="store_true",
+                         help="also print a span timeline and "
+                              "settle/tick phase split from one extra "
+                              "instrumented pass")
     profile.set_defaults(func=_cmd_profile)
+
+    report = sub.add_parser(
+        "report",
+        help="summarize telemetry shards from a --telemetry run",
+    )
+    report.add_argument("telemetry_dir",
+                        help="telemetry directory, e.g. "
+                             "<cache-dir>/telemetry/")
+    report.add_argument("--top", type=int, default=10,
+                        help="slowest units to list")
+    report.add_argument("--json", action="store_true",
+                        help="print the summary as JSON")
+    report.add_argument("--markdown", action="store_true",
+                        help="render tables as GitHub-flavoured "
+                             "markdown")
+    report.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="export a Chrome trace-event JSON "
+                             "(Perfetto-loadable) here")
+    report.add_argument("--merged-out", default=None, metavar="FILE",
+                        help="write the merged telemetry JSONL "
+                             "(deterministic bytes) here")
+    report.set_defaults(func=_cmd_report)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -581,6 +681,10 @@ def build_parser():
     fuzz.add_argument("--corpus-dir", default=None,
                       help="also save reproducers into this corpus "
                            "directory (e.g. tests/corpus)")
+    fuzz.add_argument("--telemetry", action="store_true",
+                      help="record span/metrics shards under "
+                           "<cache-dir>/telemetry/ (verdicts are "
+                           "unaffected)")
     fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 

@@ -79,7 +79,10 @@ class Preprocessor:
 
     def _llm_fix(self, source, lint, report):
         prompt = build_syntax_prompt(source, lint.format(), spec=self.spec)
-        response = self.llm.complete(prompt, task="syntax")
+        from repro.obs import trace
+
+        with trace.span("repair-llm", cat="llm", stage="preprocess"):
+            response = self.llm.complete(prompt, task="syntax")
         report.llm_calls += 1
         if self.timing is not None:
             self.timing.llm_call("preprocess", response)

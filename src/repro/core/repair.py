@@ -45,7 +45,10 @@ class RepairAgent:
             source, spec, error_summary,
             damage_repairs=damage_repairs, patch_form=self.patch_form,
         )
-        response = self.llm.complete(prompt, task="repair")
+        from repro.obs import trace
+
+        with trace.span("repair-llm", cat="llm", stage=stage):
+            response = self.llm.complete(prompt, task="repair")
         if self.timing is not None:
             self.timing.llm_call(stage, response)
         if self.patch_form == "complete":

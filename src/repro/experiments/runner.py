@@ -40,6 +40,7 @@ from repro.core.config import UVLLMConfig
 from repro.core.framework import UVLLM
 from repro.lint.linter import Linter
 from repro.llm.mock import MockLLM
+from repro.obs import trace
 from repro.runner.grid import expand_grid
 from repro.runner.scheduler import run_units
 from repro.sim.backend import get_default_backend, use_backend
@@ -232,23 +233,27 @@ def run_method_on_instance(method, instance, attempts=3, base_seed=0,
         for attempt in range(attempts):
             engine = _make_method(method, seed=base_seed + attempt,
                                   config_overrides=config_overrides)
-            if method.startswith("uvllm"):
-                shared = None
-                if shared_initial:
-                    shared = shared_initial.get(
-                        (engine.config.hr_seed, engine.config.stimulus)
-                    )
-                if shared is not None:
-                    outcome = engine.verify_and_repair(
-                        instance.buggy_source, bench,
-                        sequence=shared[0], initial_result=shared[1],
-                    )
+            with trace.span("attempt", cat="repair", method=method,
+                            attempt=attempt,
+                            instance=instance.instance_id) as sp:
+                if method.startswith("uvllm"):
+                    shared = None
+                    if shared_initial:
+                        shared = shared_initial.get(
+                            (engine.config.hr_seed, engine.config.stimulus)
+                        )
+                    if shared is not None:
+                        outcome = engine.verify_and_repair(
+                            instance.buggy_source, bench,
+                            sequence=shared[0], initial_result=shared[1],
+                        )
+                    else:
+                        outcome = engine.verify_and_repair(
+                            instance.buggy_source, bench
+                        )
                 else:
-                    outcome = engine.verify_and_repair(
-                        instance.buggy_source, bench
-                    )
-            else:
-                outcome = engine.repair(instance.buggy_source, bench)
+                    outcome = engine.repair(instance.buggy_source, bench)
+                sp.set(hit=bool(outcome.hit))
             total_seconds += outcome.seconds
             record.attempts_used = attempt + 1
             if outcome.hit:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.fuzz.generate import GENERATOR_VERSION, generate_design
 from repro.fuzz.oracle import check_design
+from repro.obs import sink, trace
 from repro.runner.cache import ResultCache
 from repro.runner.scheduler import run_units
 
@@ -71,9 +72,12 @@ def expand_fuzz(count, seed=0, cycles=24):
 def execute_fuzz_unit(unit):
     """Run one fuzz unit to a JSON-pure verdict (pool-worker
     primitive; module-level for picklability)."""
-    design = generate_design(unit.design_seed)
-    ops, failure = check_design(design, cycles=unit.cycles,
-                                stim_seed=unit.stim_seed)
+    with trace.span("generate", cat="fuzz", seed=unit.design_seed):
+        design = generate_design(unit.design_seed)
+    with trace.span("oracle-check", cat="fuzz", seed=unit.stim_seed,
+                    cycles=unit.cycles):
+        ops, failure = check_design(design, cycles=unit.cycles,
+                                    stim_seed=unit.stim_seed)
     verdict = {
         "design_seed": unit.design_seed,
         "stim_seed": unit.stim_seed,
@@ -97,7 +101,8 @@ def make_fuzz_cache(cache_dir):
 
 
 def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
-             shard=None, time_budget=None, show_progress=False):
+             shard=None, time_budget=None, show_progress=False,
+             telemetry=False):
     """Execute a fuzz campaign; returns the summary dict.
 
     ``shard`` is an ``(index, count)`` pair partitioning the seed
@@ -105,6 +110,8 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
     new batches once exceeded — finished units are cached, so the
     next run resumes where this one stopped.  Without a budget the
     result is a pure function of ``(count, seed, cycles)``.
+    ``telemetry`` writes span/metrics shards under
+    ``<cache-dir>/telemetry/`` (verdicts are unaffected).
     """
     units = expand_fuzz(count, seed=seed, cycles=cycles)
     if shard is not None:
@@ -122,10 +129,17 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
         if cache_dir else None
     )
 
+    telemetry_dir = (
+        os.path.join(os.fspath(cache_dir), "telemetry")
+        if telemetry and cache_dir else None
+    )
+
     verdicts = []
     started = time.monotonic()
     exhausted = 0
-    with kernel_cache.disk_cache(kernel_dir):
+    with kernel_cache.disk_cache(kernel_dir), \
+            sink.telemetry_scope(telemetry_dir), \
+            trace.span("fuzz-campaign", cat="scheduler", count=len(units)):
         if time_budget is None:
             verdicts = run_units(units, jobs=jobs, cache=cache,
                                  executor=execute_fuzz_unit,

@@ -778,7 +778,10 @@ class Parser:
 
 def parse_source(source):
     """Parse Verilog text into a :class:`ast.SourceFile`."""
-    return Parser(source).parse_source()
+    from repro.obs import trace
+
+    with trace.span("parse", cat="hdl", chars=len(source)):
+        return Parser(source).parse_source()
 
 
 def parse_module(source):

@@ -30,6 +30,8 @@ import os
 import tempfile
 from dataclasses import asdict
 
+from repro.obs import trace
+from repro.obs.metrics import GLOBAL as _metrics
 from repro.runner.grid import CACHE_SCHEMA_VERSION
 
 
@@ -60,6 +62,7 @@ class ResultCache:
     def __init__(self, cache_dir, subdir="units", encode=None, decode=None,
                  schema=CACHE_SCHEMA_VERSION):
         self.root = os.fspath(cache_dir)
+        self.subdir = subdir
         self.unit_dir = os.path.join(self.root, subdir)
         self.encode = encode if encode is not None else record_to_dict
         self.decode = decode if decode is not None else record_from_dict
@@ -74,17 +77,22 @@ class ResultCache:
 
     def get(self, key):
         """Return the cached record for ``key`` or ``None`` on a miss."""
-        try:
-            with open(self._path(key)) as handle:
-                payload = json.load(handle)
-            if payload.get("schema") != self.schema:
-                raise ValueError("schema mismatch")
-            record = self.decode(payload["record"])
-        except (OSError, ValueError, KeyError, TypeError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return record
+        with trace.span("cache-read", cat="cache", store=self.subdir) as sp:
+            try:
+                with open(self._path(key)) as handle:
+                    payload = json.load(handle)
+                if payload.get("schema") != self.schema:
+                    raise ValueError("schema mismatch")
+                record = self.decode(payload["record"])
+            except (OSError, ValueError, KeyError, TypeError):
+                self.misses += 1
+                _metrics.inc("unit_cache.misses")
+                sp.set(hit=False)
+                return None
+            self.hits += 1
+            _metrics.inc("unit_cache.hits")
+            sp.set(hit=True)
+            return record
 
     def put(self, key, record):
         """Atomically persist ``record`` under ``key``."""
@@ -93,8 +101,10 @@ class ResultCache:
             "key": key,
             "record": self.encode(record),
         }
-        _atomic_write_json(self._path(key), payload, self.unit_dir)
+        with trace.span("cache-write", cat="cache", store=self.subdir):
+            _atomic_write_json(self._path(key), payload, self.unit_dir)
         self.writes += 1
+        _metrics.inc("unit_cache.writes")
 
 
 class DatasetCache:

@@ -42,12 +42,21 @@ def format_lane_stats(lanes):
 
 
 def format_progress(done, total, elapsed, cached=0, kernels=None,
-                    lanes=None):
-    """Render one status line; pure function for testability."""
+                    lanes=None, eta_seconds=None):
+    """Render one status line; pure function for testability.
+
+    ``eta_seconds`` is a precomputed remaining-time estimate (the
+    scheduler derives one from its rolling per-unit histogram, so a
+    long-tail unit early in the run stops inflating the estimate);
+    when absent the line falls back to extrapolating the global
+    average over executed units.
+    """
     percent = 100.0 * done / total if total else 100.0
     executed = done - cached
     remaining = total - done
-    if executed > 0 and elapsed > 0 and remaining > 0:
+    if eta_seconds is not None and remaining > 0:
+        eta_text = f" eta {_duration(eta_seconds)}"
+    elif executed > 0 and elapsed > 0 and remaining > 0:
         eta = remaining * (elapsed / executed)
         eta_text = f" eta {_duration(eta)}"
     else:
@@ -79,11 +88,13 @@ class ProgressReporter:
         self.done = 0
         self.cached = 0
 
-    def update(self, done, cached=0, kernels=None, lanes=None):
+    def update(self, done, cached=0, kernels=None, lanes=None,
+               eta_seconds=None):
         """Advance to ``done`` completed units (``cached`` of them
         hits); ``kernels`` is the compiled-kernel cache aggregate so
         far (compile/hit counters stream live), ``lanes`` the
-        lane-batch aggregate."""
+        lane-batch aggregate, ``eta_seconds`` the scheduler's rolling
+        remaining-time estimate (optional)."""
         self.done, self.cached = done, cached
         now = self.clock()
         if now - self._last_emit < self.min_interval and done < self.total:
@@ -91,10 +102,10 @@ class ProgressReporter:
         self._last_emit = now
         line = format_progress(done, self.total, now - self.started,
                                cached=cached, kernels=kernels,
-                               lanes=lanes)
+                               lanes=lanes, eta_seconds=eta_seconds)
         print(line, file=self.stream, flush=True)
 
-    def finish(self, kernels=None, lanes=None):
+    def finish(self, kernels=None, lanes=None, demotions=None):
         elapsed = self.clock() - self.started
         executed = self.done - self.cached
         kernel_text = ""
@@ -120,3 +131,12 @@ class ProgressReporter:
             f"{self.cached} from cache{kernel_text}{lane_text})",
             file=self.stream, flush=True,
         )
+        if demotions:
+            breakdown = ", ".join(
+                f"{category} x{count}"
+                for category, count in sorted(
+                    demotions.items(), key=lambda kv: (-kv[1], kv[0])
+                )
+            )
+            print(f"[campaign] lane demotions: {breakdown}",
+                  file=self.stream, flush=True)

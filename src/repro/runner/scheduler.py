@@ -12,11 +12,24 @@ Because every unit is seeded from its own fields and shares no mutable
 state with its siblings, results are bit-identical whether ``jobs`` is
 1 (plain in-process loop) or N — the only observable difference is
 wall-clock time.
+
+Observability: each executed unit ships one ``StatsDelta`` (a
+:meth:`repro.obs.metrics.MetricsRegistry.delta` dict) back with its
+record — kernel-cache movement, lane-batch outcomes, per-unit wall
+seconds — and the runner folds them into a per-campaign registry.  The
+historical ``kernel_stats`` / ``lane_stats`` dicts are read-only views
+over that registry.  When telemetry is enabled (``repro.obs.sink``),
+workers additionally flush span shards per unit; none of this touches
+``cache_key()`` or record bytes.
 """
 
 import concurrent.futures
 import os
+import time
 
+from repro.obs import sink, trace
+from repro.obs.metrics import GLOBAL as _global_metrics
+from repro.obs.metrics import MetricsRegistry, classify_demotion
 from repro.runner.cache import ResultCache
 from repro.runner.report import ProgressReporter
 
@@ -32,34 +45,68 @@ def execute_unit(unit):
     return run_unit(unit)
 
 
-def _execute_with_kernel_stats(executor, unit):
-    """Run ``executor(unit)`` and report the compiled-kernel cache
-    movement it caused (top-level: picklable for pool workers).
+def _unit_label(unit):
+    """Human-readable unit identity for spans and slow-unit reports."""
+    label = getattr(unit, "unit_id", None)
+    if label:
+        return label
+    key = getattr(unit, "cache_key", None)
+    return key() if callable(key) else type(unit).__name__
 
-    The kernel cache lives per worker process; shipping per-unit
-    deltas back with each record lets the parent aggregate a
-    campaign-wide compile/hit picture for the progress stream.
+
+def _execute_with_stats(executor, unit):
+    """Run ``executor(unit)`` and ship the metrics movement it caused
+    (top-level: picklable for pool workers).
+
+    The kernel cache (and every other instrumented layer) records into
+    the process-global registry; shipping per-unit deltas back with
+    each record lets the parent aggregate a campaign-wide picture
+    regardless of how units were distributed over worker processes.
     """
-    from repro.sim.compile import cache as kernel_cache
+    sink.maybe_init_worker()
+    before = _global_metrics.snapshot()
+    start = time.perf_counter()
+    with trace.span("unit", cat="scheduler", label=_unit_label(unit)):
+        record = executor(unit)
+    _global_metrics.observe("unit.seconds", time.perf_counter() - start)
+    _global_metrics.inc("units.executed")
+    sink.flush_spans()
+    return record, _global_metrics.delta(before)
 
-    before = kernel_cache.stats()
-    record = executor(unit)
-    return record, kernel_cache.stats_delta(before)
 
-
-def _execute_group_with_kernel_stats(units, lanes):
+def _execute_group_with_stats(units, lanes):
     """Run one design-fingerprint unit group (top-level: picklable).
 
-    Returns ``(records, lane_infos, kernel_delta)`` — the group's
-    records in unit order plus the lane-batch info dicts and kernel
-    cache movement for the parent's campaign-wide counters.
+    Returns ``(records, lane_infos, delta)`` — the group's records in
+    unit order plus the lane-batch info dicts and the metrics movement
+    for the parent's campaign-wide registry.
     """
     from repro.experiments.runner import execute_unit_group
-    from repro.sim.compile import cache as kernel_cache
 
-    before = kernel_cache.stats()
-    records, lane_infos = execute_unit_group(units, lanes)
-    return records, lane_infos, kernel_cache.stats_delta(before)
+    sink.maybe_init_worker()
+    before = _global_metrics.snapshot()
+    start = time.perf_counter()
+    with trace.span("unit-group", cat="scheduler", size=len(units),
+                    lanes=lanes):
+        records, lane_infos = execute_unit_group(units, lanes)
+    elapsed = time.perf_counter() - start
+    if units:
+        # Attribute the group's wall time evenly so the rolling ETA
+        # sees effective per-unit throughput under lane packing.
+        per_unit = elapsed / len(units)
+        for _ in units:
+            _global_metrics.observe("unit.seconds", per_unit)
+    _global_metrics.inc("units.executed", len(units))
+    for info in lane_infos:
+        if info.get("packed"):
+            _global_metrics.inc("lanes.packed_batches")
+        else:
+            _global_metrics.inc("lanes.demoted_batches")
+            _global_metrics.inc(
+                "lanes.demotion." + classify_demotion(info.get("demotion"))
+            )
+    sink.flush_spans()
+    return records, lane_infos, _global_metrics.delta(before)
 
 
 class CampaignRunner:
@@ -89,27 +136,62 @@ class CampaignRunner:
         self.reporter = reporter
         self.executor = executor if executor is not None else execute_unit
         self.lanes = max(1, int(lanes))
-        #: Aggregated compiled-kernel cache movement across all
-        #: executed units (including pool workers' deltas).
-        self.kernel_stats = {"compiled": 0, "memo_hits": 0,
-                             "disk_hits": 0}
-        #: Lane-batch movement: how many packed batches ran (at
-        #: ``lanes`` width) and how many fell back to per-lane scalar
-        #: simulation (demoted designs / non-aligned stimulus).
-        self.lane_stats = {"lanes": self.lanes, "packed_batches": 0,
-                           "demoted_batches": 0}
+        #: Per-campaign metrics: every executed unit's StatsDelta folds
+        #: in here (kernel cache, lane batches, unit wall seconds).
+        self.metrics = MetricsRegistry()
 
-    def _absorb_kernel_stats(self, delta):
-        for key, value in delta.items():
-            if key in self.kernel_stats:
-                self.kernel_stats[key] += value
+    @property
+    def kernel_stats(self):
+        """Compiled-kernel cache movement across all executed units
+        (read-only view over the campaign metrics registry)."""
+        return {
+            "compiled": self.metrics.counter("kernel.compiled"),
+            "memo_hits": self.metrics.counter("kernel.memo_hits"),
+            "disk_hits": self.metrics.counter("kernel.disk_hits"),
+        }
 
-    def _absorb_lane_stats(self, lane_infos):
-        for info in lane_infos:
-            if info.get("packed"):
-                self.lane_stats["packed_batches"] += 1
-            else:
-                self.lane_stats["demoted_batches"] += 1
+    @property
+    def lane_stats(self):
+        """Lane-batch movement: how many packed batches ran (at
+        ``lanes`` width) and how many fell back to per-lane scalar
+        simulation (demoted designs / non-aligned stimulus)."""
+        return {
+            "lanes": self.lanes,
+            "packed_batches": self.metrics.counter("lanes.packed_batches"),
+            "demoted_batches": self.metrics.counter("lanes.demoted_batches"),
+        }
+
+    def demotion_histogram(self):
+        """Structured lane-demotion reasons: ``{category: count}``."""
+        prefix = "lanes.demotion."
+        return {
+            name[len(prefix):]: value
+            for name, value in sorted(self.metrics.counters.items())
+            if name.startswith(prefix) and value
+        }
+
+    def _absorb(self, delta, from_worker):
+        """Fold one unit's StatsDelta into the campaign registry.
+
+        Deltas produced by pool workers are also folded into this
+        process's global registry so the telemetry flush at scope exit
+        sees the whole campaign; in-process execution already recorded
+        there directly.
+        """
+        self.metrics.absorb(delta)
+        if from_worker:
+            _global_metrics.absorb(delta)
+
+    def _rolling_eta(self, remaining):
+        """Remaining-seconds estimate from the rolling per-unit window
+        (None until an executed unit has been observed)."""
+        if remaining <= 0:
+            return None
+        hist = self.metrics.histogram("unit.seconds")
+        median = hist.rolling_median() if hist is not None else None
+        if median is None:
+            return None
+        return remaining * median / self.jobs
 
     def run(self, units, progress=None):
         """Execute ``units``; returns records in the same order.
@@ -129,7 +211,9 @@ class CampaignRunner:
             if self.reporter is not None:
                 self.reporter.update(done, cached=cached,
                                      kernels=self.kernel_stats,
-                                     lanes=self.lane_stats)
+                                     lanes=self.lane_stats,
+                                     eta_seconds=self._rolling_eta(
+                                         total - done))
             if progress is not None:
                 progress(done, total)
 
@@ -171,12 +255,12 @@ class CampaignRunner:
                 for positions in tasks:
                     if len(positions) == 1:
                         future = pool.submit(
-                            _execute_with_kernel_stats, self.executor,
+                            _execute_with_stats, self.executor,
                             units[positions[0]],
                         )
                     else:
                         future = pool.submit(
-                            _execute_group_with_kernel_stats,
+                            _execute_group_with_stats,
                             [units[position] for position in positions],
                             self.lanes,
                         )
@@ -197,12 +281,11 @@ class CampaignRunner:
                             pool.shutdown(wait=False, cancel_futures=True)
                         continue
                     if len(positions) == 1:
-                        record, kernel_delta = payload
+                        record, delta = payload
                         records = [record]
                     else:
-                        records, lane_infos, kernel_delta = payload
-                        self._absorb_lane_stats(lane_infos)
-                    self._absorb_kernel_stats(kernel_delta)
+                        records, _lane_infos, delta = payload
+                    self._absorb(delta, from_worker=True)
                     for position, record in zip(positions, records):
                         land(position, record)
             if first_error is not None:
@@ -210,7 +293,9 @@ class CampaignRunner:
 
         if self.reporter is not None:
             self.reporter.finish(kernels=self.kernel_stats,
-                                 lanes=self.lane_stats)
+                                 lanes=self.lane_stats,
+                                 demotions=self.demotion_histogram())
+        sink.flush_spans()
         return results
 
     def _plan_tasks(self, units, pending):
@@ -246,17 +331,15 @@ class CampaignRunner:
         """Serial-path execution of one task; returns records in
         ``positions`` order."""
         if len(positions) == 1:
-            record, kernel_delta = _execute_with_kernel_stats(
+            record, delta = _execute_with_stats(
                 self.executor, units[positions[0]]
             )
-            self._absorb_kernel_stats(kernel_delta)
+            self._absorb(delta, from_worker=False)
             return [record]
-        records, lane_infos, kernel_delta = \
-            _execute_group_with_kernel_stats(
-                [units[position] for position in positions], self.lanes
-            )
-        self._absorb_kernel_stats(kernel_delta)
-        self._absorb_lane_stats(lane_infos)
+        records, _lane_infos, delta = _execute_group_with_stats(
+            [units[position] for position in positions], self.lanes
+        )
+        self._absorb(delta, from_worker=False)
         return records
 
     def _store(self, unit, record):
@@ -284,7 +367,7 @@ def _restamp(record, instance):
 
 def run_units(units, jobs=1, cache_dir=None, progress=None,
               show_progress=False, reporter=None, cache=None,
-              executor=None, lanes=1):
+              executor=None, lanes=1, telemetry=False):
     """Convenience front door used by the experiment drivers.
 
     ``cache_dir`` of ``None`` disables memoization; an explicit
@@ -294,7 +377,9 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
     (explicit ``reporter`` wins); ``executor`` overrides the campaign
     unit-execution primitive; ``lanes > 1`` enables lane-packed
     dispatch of same-design compiled units (records stay
-    bit-identical to a ``lanes=1`` run).
+    bit-identical to a ``lanes=1`` run).  ``telemetry`` writes span
+    and metrics shards under ``<cache-dir>/telemetry/`` (requires
+    ``cache_dir``; records are unaffected — timing is sidecar-only).
     """
     units = list(units)
     from repro.sim.compile import cache as kernel_cache
@@ -307,6 +392,10 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
         os.path.join(os.fspath(cache_dir), "compiled")
         if cache_dir else None
     )
+    telemetry_dir = (
+        os.path.join(os.fspath(cache_dir), "telemetry")
+        if telemetry and cache_dir else None
+    )
     if cache is None and cache_dir:
         cache = ResultCache(cache_dir)
     if reporter is None and show_progress and units:
@@ -314,7 +403,11 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
     runner = CampaignRunner(jobs=jobs, cache=cache, reporter=reporter,
                             executor=executor, lanes=lanes)
     with kernel_cache.disk_cache(kernel_dir):
-        return runner.run(units, progress=progress)
+        with sink.telemetry_scope(telemetry_dir):
+            with trace.span("campaign", cat="scheduler",
+                            units=len(units), jobs=runner.jobs,
+                            lanes=runner.lanes):
+                return runner.run(units, progress=progress)
 
 
 def default_jobs():

@@ -36,6 +36,8 @@ import os
 import tempfile
 from contextlib import contextmanager
 
+from repro.obs import trace as _tracer
+from repro.obs.metrics import GLOBAL as _metrics
 from repro.sim.compile.kernel import build_kernel_source
 from repro.sim.elaborate import design_fingerprint
 
@@ -57,26 +59,34 @@ MEMO_LIMIT = 256
 #: Explicit disk directory (wins over the environment variable).
 _disk_dir = None
 
-#: Cache-activity counters, surfaced in the campaign progress stream.
-_stats = {"compiled": 0, "memo_hits": 0, "disk_hits": 0,
-          "lane_compiled": 0, "lane_memo_hits": 0}
+#: Cache-activity counter names.  The counters themselves live in the
+#: process-global metrics registry (``repro.obs``) as ``kernel.<name>``
+#: so telemetry shards and the campaign progress stream read the same
+#: numbers; this module keeps its historical short-key dict API.
+_STAT_KEYS = ("compiled", "memo_hits", "disk_hits",
+              "lane_compiled", "lane_memo_hits")
+
+
+def _bump(key):
+    _metrics.inc("kernel." + key)
 
 
 def stats():
     """A copy of the current counters: ``compiled`` (full codegen
     runs), ``memo_hits`` (kernel reused in-process), ``disk_hits``
     (source loaded from the cross-run store)."""
-    return dict(_stats)
+    return {key: _metrics.counter("kernel." + key) for key in _STAT_KEYS}
 
 
 def stats_delta(before):
     """Counter movement since a :func:`stats` snapshot."""
-    return {key: _stats[key] - before.get(key, 0) for key in _stats}
+    now = stats()
+    return {key: now[key] - before.get(key, 0) for key in _STAT_KEYS}
 
 
 def reset_stats():
-    for key in _stats:
-        _stats[key] = 0
+    for key in _STAT_KEYS:
+        _metrics.counters.pop("kernel." + key, None)
 
 
 def enable_disk_cache(path):
@@ -176,31 +186,34 @@ def get_kernel(design, order, trace=True, coverage=None):
     key = kernel_cache_key(design, trace, coverage is not None)
     entry = _memo.get(key)
     if entry is not None:
-        _stats["memo_hits"] += 1
+        _bump("memo_hits")
         return entry
 
-    source = None
-    path = _disk_path(key)
-    if path is not None:
-        source = _load_source(path)
-        if source is not None:
-            _stats["disk_hits"] += 1
-    if source is None:
-        source = build_kernel_source(
-            design, order, trace=trace, coverage=coverage,
-            key=key, codegen_version=CODEGEN_VERSION,
-        )
-        _stats["compiled"] += 1
+    with _tracer.span("compile", cat="kernel", key=key[:16]) as sp:
+        source = None
+        path = _disk_path(key)
         if path is not None:
-            _store_source(path, source)
+            source = _load_source(path)
+            if source is not None:
+                _bump("disk_hits")
+                sp.set(source="disk")
+        if source is None:
+            source = build_kernel_source(
+                design, order, trace=trace, coverage=coverage,
+                key=key, codegen_version=CODEGEN_VERSION,
+            )
+            _bump("compiled")
+            sp.set(source="codegen")
+            if path is not None:
+                _store_source(path, source)
 
-    namespace = {}
-    code = compile(source, f"<repro-kernel {key[:16]}>", "exec")
-    exec(code, namespace)  # noqa: S102 - the whole module is codegen
-    entry = (namespace["bind"], source)
-    while len(_memo) >= MEMO_LIMIT:
-        _memo.pop(next(iter(_memo)))
-    _memo[key] = entry
+        namespace = {}
+        code = compile(source, f"<repro-kernel {key[:16]}>", "exec")
+        exec(code, namespace)  # noqa: S102 - the whole module is codegen
+        entry = (namespace["bind"], source)
+        while len(_memo) >= MEMO_LIMIT:
+            _memo.pop(next(iter(_memo)))
+        _memo[key] = entry
     return entry
 
 
@@ -229,14 +242,15 @@ def get_lane_program(design, lanes):
     key = (fingerprint, lanes, LANE_CODEGEN_VERSION)
     entry = _lane_memo.get(key)
     if entry is not None:
-        _stats["lane_memo_hits"] += 1
+        _bump("lane_memo_hits")
         return entry if not isinstance(entry, str) else None
     try:
-        program = compile_lane_program(design, lanes)
+        with _tracer.span("compile", cat="lane-kernel", lanes=lanes):
+            program = compile_lane_program(design, lanes)
     except NotPackable as exc:
         _lane_memo[key] = str(exc) or "not packable"
         return None
-    _stats["lane_compiled"] += 1
+    _bump("lane_compiled")
     while len(_lane_memo) >= MEMO_LIMIT:
         _lane_memo.pop(next(iter(_lane_memo)))
     _lane_memo[key] = program

@@ -555,6 +555,8 @@ def elaborate(source_file, top=None, params=None):
     file, matching common single-file benchmark layout).  ``params`` maps
     top-level parameter names to integer overrides.
     """
+    from repro.obs import trace
+
     if isinstance(source_file, str):
         from repro.hdl.parser import parse_source
 
@@ -570,6 +572,11 @@ def elaborate(source_file, top=None, params=None):
         if module is None:
             raise HdlElaborationError(f"top module '{top}' not found")
 
+    with trace.span("elaborate", cat="hdl", module=module.name):
+        return _elaborate_module(source_file, module, params)
+
+
+def _elaborate_module(source_file, module, params):
     design = Design(module.name)
     scope = Scope("", design)
     design.top_scope = scope

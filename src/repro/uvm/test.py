@@ -10,6 +10,7 @@ localization engine slices.
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.obs import trace
 from repro.sim.backend import make_simulator
 from repro.sim.compile.xcheck import XCheckDivergence
 from repro.sim.engine import SimulationError, Simulator
@@ -80,6 +81,18 @@ class UVMTest:
         self.code_coverage = code_coverage
 
     def run(self):
+        with trace.span("simulate", cat="uvm") as sp:
+            result = self._execute()
+            simulator = result.simulator
+            if simulator is not None:
+                design = getattr(simulator, "design", None)
+                sp.set(module=getattr(design, "top_name", "?"),
+                       cycles=int(getattr(simulator, "time", 0)) // 10,
+                       events=int(getattr(simulator, "event_count", 0)),
+                       ok=result.ok)
+        return result
+
+    def _execute(self):
         log = UVMLog()
         try:
             simulator = make_simulator(
