@@ -42,12 +42,22 @@ would otherwise hide:
   kept rendering plausible output; write the merged JSONL and a
   markdown summary with ``--telemetry-out`` for the CI artifact.
 
+- a deliberately-failing mini campaign (repair iterations forced to
+  zero) run with ``--forensics`` must produce at least one debug
+  bundle carrying *every* expected section — archived stimulus,
+  golden and candidate waveforms, first-divergence report, span
+  slice, coverage holes — and that bundle must replay: a missing
+  section or a non-reproducing replay means the capture pipeline
+  regressed while failures kept getting reported; point
+  ``--forensics-out`` at a directory for the CI artifact.
+
 Usage: python scripts/ci_smoke.py [--jobs N] [--cache-dir DIR]
                                   [--backend interp|compiled|xcheck]
                                   [--skip-backend-diff]
                                   [--coverage-out DB.json]
                                   [--lanes N]
                                   [--telemetry-out DIR]
+                                  [--forensics-out DIR]
 """
 
 import argparse
@@ -121,6 +131,10 @@ def main():
                         help="write the cold campaign's merged "
                              "telemetry JSONL and markdown summary "
                              "under this directory (CI uploads both)")
+    parser.add_argument("--forensics-out", default=None,
+                        help="cache directory for the forced-failure "
+                             "forensics gate; bundles land under "
+                             "<dir>/forensics/ (CI uploads them)")
     args = parser.parse_args()
     if args.backend is None:
         from repro.sim.backend import get_default_backend
@@ -308,8 +322,73 @@ def main():
               f"HR/FR tables and merged coverage bit-identical over "
               f"{len(lane_units)} units")
 
+    code = forensics_gate(args)
+    if code:
+        return code
+
     print(f"smoke ok: {len(units)} units, warm pass fully cached "
           f"({warm_cache.hits} hits)")
+    return 0
+
+
+def forensics_gate(args):
+    """Forced-failure capture gate.
+
+    Zeroing the repair-iteration knobs turns every *detected* mutant
+    into a failing unit; at least one resulting bundle must carry
+    every expected section and replay from the bundle alone.  A
+    passing campaign with an empty or hollow forensics directory is
+    exactly the regression this gate exists to catch.
+    """
+    from repro.forensics.bundle import COMPLETE_SECTIONS
+    from repro.forensics import triage
+    from repro.runner.scheduler import run_units
+
+    cache_dir = args.forensics_out or tempfile.mkdtemp(
+        prefix="ci-smoke-forensics-")
+    # counter_12 at per_operator=2 is enough: that slice contains
+    # mutants the HR suite actually detects (the per_operator=1 smoke
+    # slice happens to be all-undetected), they simulate (so waveform
+    # sections exist), and the grid stays small.
+    subset = generate_dataset(seed=0, per_operator=2, target=None,
+                              modules=["counter_12"], cache_dir=None)
+    units = expand_grid(subset, ("uvllm",), attempts=1,
+                        config_overrides={"max_iterations": 0,
+                                          "ms_iterations": 0},
+                        backend=args.backend)
+    records = run_units(units, jobs=1, cache_dir=cache_dir,
+                        telemetry=True, forensics_capture=True)
+    failing = sum(1 for r in records if not r.hit)
+    if failing == 0:
+        return fail("forensics gate: forced-failure campaign produced "
+                    "no failing units — the forcing knob regressed")
+    forensics_dir = os.path.join(cache_dir, "forensics")
+    bundles = triage.list_bundles(forensics_dir)
+    if not bundles:
+        return fail(f"forensics gate: {failing} failing unit(s) but no "
+                    f"debug bundles under {forensics_dir}")
+    complete = [
+        manifest for manifest in bundles
+        if all(section in manifest.get("sections", {})
+               for section in COMPLETE_SECTIONS)
+    ]
+    if not complete:
+        missing = {
+            os.path.basename(m["_dir"]): sorted(
+                set(COMPLETE_SECTIONS) - set(m.get("sections", {}))
+            )
+            for m in bundles
+        }
+        return fail(f"forensics gate: no bundle carries every expected "
+                    f"section; missing per bundle: {missing}")
+    reproduced, detail = triage.replay(complete[0])
+    if not reproduced:
+        return fail(f"forensics gate: bundle "
+                    f"{os.path.basename(complete[0]['_dir'])} does not "
+                    f"replay: {detail}")
+    print(f"forensics ok: {failing} failing unit(s), {len(bundles)} "
+          f"bundle(s), {len(complete)} complete; replay reproduced "
+          f"({detail})")
     return 0
 
 

@@ -29,7 +29,7 @@ artifact and replay it:
 Usage: python scripts/fuzz_ci.py [--count N] [--seed S] [--jobs N]
                                  [--cycles N] [--cache-dir DIR]
                                  [--time-budget SECONDS]
-                                 [--artifact-dir DIR]
+                                 [--artifact-dir DIR] [--forensics]
 """
 
 import argparse
@@ -85,11 +85,16 @@ def main(argv=None):
     parser.add_argument("--cache-dir", default=".fuzz-cache")
     parser.add_argument("--time-budget", type=float, default=480.0)
     parser.add_argument("--artifact-dir", default="fuzz-failures")
+    parser.add_argument("--forensics", action="store_true",
+                        help="capture a debug bundle per failing design "
+                             "under <cache-dir>/forensics/ (inspect "
+                             "with `repro.cli triage`)")
     args = parser.parse_args(argv)
 
     cold = run_fuzz(args.count, seed=args.seed, cycles=args.cycles,
                     jobs=args.jobs, cache_dir=args.cache_dir,
-                    time_budget=args.time_budget, show_progress=True)
+                    time_budget=args.time_budget, show_progress=True,
+                    forensics_capture=args.forensics)
     print(f"cold: {cold['run']}/{cold['count']} designs, "
           f"{cold['skipped_by_budget']} budget-skipped, "
           f"{len(cold['failures'])} failures in "
@@ -97,6 +102,9 @@ def main(argv=None):
 
     if cold["failures"]:
         archive_failures(cold["failures"], args.artifact_dir)
+        for bundle_dir in cold.get("forensics") or []:
+            if bundle_dir:
+                print(f"  debug bundle: {bundle_dir}", file=sys.stderr)
         return fail(f"{len(cold['failures'])} design(s) diverged; "
                     f"minimized reproducers are in "
                     f"{args.artifact_dir}/")
@@ -107,12 +115,16 @@ def main(argv=None):
     # the budget-free case.
     warm = run_fuzz(args.count, seed=args.seed, cycles=args.cycles,
                     jobs=args.jobs, cache_dir=args.cache_dir,
-                    time_budget=args.time_budget, show_progress=True)
+                    time_budget=args.time_budget, show_progress=True,
+                    forensics_capture=args.forensics)
     if warm["failures"]:
         # A budget-truncated cold pass makes the warm pass resume the
         # unexecuted tail, so these can be genuine new divergences —
         # shrink and archive them exactly like cold-pass failures.
         archive_failures(warm["failures"], args.artifact_dir)
+        for bundle_dir in warm.get("forensics") or []:
+            if bundle_dir:
+                print(f"  debug bundle: {bundle_dir}", file=sys.stderr)
         return fail(
             f"{len(warm['failures'])} design(s) diverged on the warm "
             f"pass (resumed tail or nondeterminism); minimized "

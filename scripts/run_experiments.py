@@ -4,6 +4,7 @@ EXPERIMENTS.md with paper-vs-measured numbers.
 
 Usage: python scripts/run_experiments.py [--quick] [--jobs N]
                                          [--cache-dir DIR]
+                                         [--telemetry] [--forensics]
 
 ``--jobs`` fans the experiment grids out over worker processes via the
 campaign runner (results are bit-identical to ``--jobs 1``);
@@ -51,6 +52,11 @@ def main():
                         help="record span/metrics shards under "
                              "<cache-dir>/telemetry/ covering every "
                              "experiment driver (needs --cache-dir)")
+    parser.add_argument("--forensics", action="store_true",
+                        help="capture a debug bundle per failing work "
+                             "unit under <cache-dir>/forensics/ "
+                             "(needs --cache-dir; inspect with "
+                             "`repro.cli triage`)")
     args = parser.parse_args()
 
     if args.jobs <= 0:
@@ -60,19 +66,33 @@ def main():
     if args.telemetry and not args.cache_dir:
         parser.error("--telemetry needs --cache-dir (shards live "
                      "under <cache-dir>/telemetry/)")
+    if args.forensics and not args.cache_dir:
+        parser.error("--forensics needs --cache-dir (bundles live "
+                     "under <cache-dir>/forensics/)")
+
+    import contextlib
+    import os
+
+    with contextlib.ExitStack() as stack:
+        if args.telemetry:
+            from repro.obs import sink
+
+            telemetry_dir = os.path.join(args.cache_dir, "telemetry")
+            stack.enter_context(sink.telemetry_scope(telemetry_dir))
+        if args.forensics:
+            from repro.forensics import bundle as forensics
+
+            forensics_dir = os.path.join(args.cache_dir, "forensics")
+            stack.enter_context(forensics.scope(forensics_dir))
+        _run_experiments(args)
     if args.telemetry:
-        import os
-
-        from repro.obs import sink
-
-        telemetry_dir = os.path.join(args.cache_dir, "telemetry")
-        with sink.telemetry_scope(telemetry_dir):
-            _run_experiments(args)
         print(f"telemetry shards written under {telemetry_dir}; "
               f"summarize with: python -m repro.cli report "
               f"{telemetry_dir}", flush=True)
-    else:
-        _run_experiments(args)
+    if args.forensics:
+        print(f"debug bundles (if any units failed) under "
+              f"{forensics_dir}; inspect with: python -m repro.cli "
+              f"triage {forensics_dir}", flush=True)
 
 
 def _run_experiments(args):

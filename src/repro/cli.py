@@ -133,8 +133,24 @@ def _cmd_simulate(args):
     for entry in result.log.mismatches()[:5]:
         print(entry.format())
     if args.vcd and result.simulator is not None:
-        dump_simulator(result.simulator, path=args.vcd)
-        print(f"waveform written to {args.vcd}")
+        # An aborted simulation (combinational loop, runaway deltas)
+        # still flushes the waveform up to the abort point, with the
+        # abort recorded in a trailing VCD comment.
+        abort_note = None
+        if result.error:
+            abort_note = (
+                "aborted at t=%d: %s"
+                % (int(getattr(result.simulator, "time", 0)), result.error)
+            )
+        dump_simulator(result.simulator, path=args.vcd,
+                       abort_note=abort_note)
+        if abort_note:
+            print(f"partial waveform written to {args.vcd} ({abort_note})")
+        else:
+            print(f"waveform written to {args.vcd}")
+    elif args.vcd:
+        print(f"no simulator state to dump ({result.error or 'no run'})",
+              file=sys.stderr)
     return 0 if result.all_passed else 1
 
 
@@ -212,15 +228,31 @@ def _cmd_campaign(args):
         print("--telemetry needs --cache-dir (shards live under "
               "<cache-dir>/telemetry/)", file=sys.stderr)
         return 2
+    if args.forensics and not args.cache_dir:
+        print("--forensics needs --cache-dir (bundles live under "
+              "<cache-dir>/forensics/)", file=sys.stderr)
+        return 2
     records = run_units(units, jobs=jobs, cache_dir=args.cache_dir,
                         show_progress=True, lanes=lanes,
-                        telemetry=args.telemetry)
+                        telemetry=args.telemetry,
+                        forensics_capture=args.forensics)
     if args.telemetry:
         import os
 
         telemetry_dir = os.path.join(args.cache_dir, "telemetry")
         print(f"telemetry shards written under {telemetry_dir}; "
               f"summarize with: repro.cli report {telemetry_dir}",
+              file=sys.stderr)
+    if args.forensics:
+        import os
+
+        forensics_dir = os.path.join(args.cache_dir, "forensics")
+        bundles = [
+            name for name in sorted(os.listdir(forensics_dir))
+            if os.path.isdir(os.path.join(forensics_dir, name))
+        ] if os.path.isdir(forensics_dir) else []
+        print(f"{len(bundles)} forensic bundle(s) under {forensics_dir}; "
+              f"inspect with: repro.cli triage {forensics_dir}",
               file=sys.stderr)
 
     print(f"{'method':<14}{'n':>5}{'HR %':>8}{'FR %':>8}{'t (s)':>9}")
@@ -321,33 +353,11 @@ def _cmd_coverage(args):
 
 def _model_from_dict(group, data):
     """Rebuild a CoverModel skeleton (bins + hits) from DB counters so
-    the hole report can run over a merged database."""
-    from repro.cover.model import CoverModel, Cross, TransitionPoint
-    from repro.uvm.coverage import CoverPoint
+    the hole report can run over a merged database (shared with the
+    forensics bundle writer's coverage-hole section)."""
+    from repro.cover.model import model_from_counters
 
-    model = CoverModel(name=group)
-    for name, entry in sorted((data.get("points") or {}).items()):
-        point = CoverPoint(name, [tuple(b) for b in entry["bins"]])
-        point.hits = {int(k): v for k, v in entry["hits"].items()}
-        model.points.append(point)
-    for name, entry in sorted((data.get("crosses") or {}).items()):
-        members = [model.point(p) for p in entry["points"]]
-        if any(m is None for m in members):
-            continue
-        cross = Cross(name=name, points=members)
-        cross.hits = {
-            tuple(int(i) for i in key.split("|")): count
-            for key, count in entry["hits"].items()
-        }
-        model.crosses.append(cross)
-    for name, entry in sorted((data.get("transitions") or {}).items()):
-        trans = TransitionPoint(
-            signal=entry["signal"],
-            seqs=[tuple(s) for s in entry["seqs"]], name=name,
-        )
-        trans.hits = {int(k): v for k, v in entry["hits"].items()}
-        model.transitions.append(trans)
-    return model
+    return model_from_counters(group, data)
 
 
 def _holes_from_model(model):
@@ -379,6 +389,10 @@ def _cmd_fuzz(args):
         print("--telemetry needs --cache-dir (shards live under "
               "<cache-dir>/telemetry/)", file=sys.stderr)
         return 2
+    if args.forensics and not args.cache_dir:
+        print("--forensics needs --cache-dir (bundles live under "
+              "<cache-dir>/forensics/)", file=sys.stderr)
+        return 2
     # The telemetry scope wraps the whole command (not just run_fuzz)
     # so parent-side shrinking shows up in the same shard set.
     telemetry_dir = (
@@ -393,10 +407,13 @@ def _cmd_fuzz(args):
 
 def _run_fuzz_command(args, shard, jobs, run_fuzz, shrink, make_entry,
                       save_reproducer, trace):
+    from repro.forensics import bundle as forensics
+
     summary = run_fuzz(
         args.count, seed=args.seed, cycles=args.cycles, jobs=jobs,
         cache_dir=args.cache_dir, shard=shard,
         time_budget=args.time_budget, show_progress=True,
+        forensics_capture=args.forensics,
     )
     print(f"fuzz: {summary['run']}/{summary['count']} designs "
           f"({summary['cached']} cached, "
@@ -412,20 +429,28 @@ def _run_fuzz_command(args, shard, jobs, run_fuzz, shrink, make_entry,
         print("no divergences found")
         return 0
     print(f"{len(failures)} failing design(s):", file=sys.stderr)
-    for verdict in failures:
+    bundles = summary.get("forensics") or [None] * len(failures)
+    for verdict, bundle_dir in zip(failures, bundles):
         kind = verdict["failure"]["kind"]
         source = verdict["source"]
         ops = [tuple(op) for op in verdict["ops"]]
         print(f"  seed {verdict['design_seed']}: {kind} — "
               f"{verdict['failure']['detail'][:200]}", file=sys.stderr)
+        if bundle_dir:
+            print(f"    debug bundle: {bundle_dir}", file=sys.stderr)
         if args.shrink:
-            with trace.span("shrink", cat="fuzz",
-                            seed=verdict["design_seed"]):
+            # The shrinker re-runs the oracle hundreds of times; each
+            # intermediate failure must not spawn its own bundle.
+            with forensics.suppress(), \
+                    trace.span("shrink", cat="fuzz",
+                               seed=verdict["design_seed"]):
                 result = shrink(source, ops, kind)
             print(f"    shrunk {len(source)} -> {len(result.source)} "
                   f"chars, {len(ops)} -> {len(result.ops)} ops "
                   f"({result.checks} oracle checks)", file=sys.stderr)
             source, ops = result.source, result.ops
+            if bundle_dir:
+                forensics.attach_shrunk(bundle_dir, source, ops)
         # A freshly-found failure still reproduces, so the entry is
         # written with expect="fail"; after fixing the bug, flip it
         # to "pass" when promoting into tests/corpus (the content
@@ -470,11 +495,13 @@ def _cmd_report(args):
     from repro.obs import export, sink
 
     spans, metrics = sink.read_shards(args.telemetry_dir)
-    if not spans and not metrics.counters and not metrics.histograms:
+    opens = sink.read_opens(args.telemetry_dir)
+    if not spans and not opens and not metrics.counters \
+            and not metrics.histograms:
         print(f"no telemetry shards found under {args.telemetry_dir}",
               file=sys.stderr)
         return 1
-    report = export.summarize(spans, metrics, top=args.top)
+    report = export.summarize(spans, metrics, top=args.top, opens=opens)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -490,6 +517,81 @@ def _cmd_report(args):
         print(f"merged telemetry JSONL written to {args.merged_out}",
               file=sys.stderr)
     return 0
+
+
+def _cmd_triage(args):
+    from repro.forensics import triage
+
+    bundles = triage.list_bundles(args.forensics_dir)
+    if args.show:
+        try:
+            manifest = triage.resolve_bundle(args.forensics_dir,
+                                             args.show)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(triage.describe(manifest), end="")
+        return 0
+    if args.diff:
+        try:
+            left = triage.resolve_bundle(args.forensics_dir,
+                                         args.diff[0])
+            right = triage.resolve_bundle(args.forensics_dir,
+                                          args.diff[1])
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        print(triage.diff_bundles(left, right), end="")
+        return 0
+    if args.replay is not None:
+        targets = bundles
+        if args.replay:  # explicit ids; empty list means "all"
+            try:
+                targets = [
+                    triage.resolve_bundle(args.forensics_dir, ref)
+                    for ref in args.replay
+                ]
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+        if not targets:
+            print(f"no bundles under {args.forensics_dir}",
+                  file=sys.stderr)
+            return 1
+        stale = 0
+        for manifest in targets:
+            name = _bundle_name(manifest)
+            try:
+                reproduced, detail = triage.replay(manifest)
+            except Exception as exc:
+                reproduced = False
+                detail = f"replay crashed: {type(exc).__name__}: {exc}"
+            status = "REPRODUCED" if reproduced else "NOT REPRODUCED"
+            stale += 0 if reproduced else 1
+            print(f"{status:<16} {name}  {detail}")
+        if stale:
+            print(f"{stale}/{len(targets)} bundle(s) no longer "
+                  f"reproduce as recorded — a fix landed or the "
+                  f"replay contract broke", file=sys.stderr)
+            return 1
+        return 0
+    # Default: list bundles.
+    if not bundles:
+        print(f"no bundles under {args.forensics_dir}", file=sys.stderr)
+        return 1
+    print(f"{'bundle':<28}{'kind':<12}{'sections':>9}  label")
+    for manifest in bundles:
+        print(f"{_bundle_name(manifest):<28}"
+              f"{manifest.get('kind', '?'):<12}"
+              f"{len(manifest.get('sections', {})):>9}  "
+              f"{manifest.get('label', '?')}")
+    return 0
+
+
+def _bundle_name(manifest):
+    import os
+
+    return os.path.basename(manifest["_dir"])
 
 
 def _generator_version():
@@ -583,6 +685,11 @@ def build_parser():
                           help="record span/metrics shards under "
                                "<cache-dir>/telemetry/ (records and "
                                "coverage stay bit-identical)")
+    campaign.add_argument("--forensics", action="store_true",
+                          help="archive every failing unit as a debug "
+                               "bundle under <cache-dir>/forensics/ "
+                               "(stimulus, waveforms, divergence "
+                               "report; records stay bit-identical)")
     campaign.set_defaults(func=_cmd_campaign)
 
     coverage = sub.add_parser(
@@ -685,7 +792,32 @@ def build_parser():
                       help="record span/metrics shards under "
                            "<cache-dir>/telemetry/ (verdicts are "
                            "unaffected)")
+    fuzz.add_argument("--forensics", action="store_true",
+                      help="archive every failing design as a debug "
+                           "bundle under <cache-dir>/forensics/ "
+                           "(verdicts are unaffected)")
     fuzz.set_defaults(func=_cmd_fuzz)
+
+    triage = sub.add_parser(
+        "triage",
+        help="inspect, replay and diff forensic debug bundles",
+    )
+    triage.add_argument("forensics_dir",
+                        help="bundle directory, e.g. "
+                             "<cache-dir>/forensics/")
+    triage.add_argument("--show", default=None, metavar="BUNDLE",
+                        help="render one bundle's failure and "
+                             "divergence report (id or unique prefix)")
+    triage.add_argument("--replay", nargs="*", default=None,
+                        metavar="BUNDLE",
+                        help="re-run bundles' archived stimulus "
+                             "against current code; no argument "
+                             "replays all. Exits 1 if any failure no "
+                             "longer reproduces as recorded")
+    triage.add_argument("--diff", nargs=2, default=None,
+                        metavar=("A", "B"),
+                        help="compare two bundles section by section")
+    triage.set_defaults(func=_cmd_triage)
     return parser
 
 

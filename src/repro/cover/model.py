@@ -350,3 +350,39 @@ def input_space_model(field_ranges, bin_count=4, name="stimulus"):
         for j in range(i + 1, len(points)):
             model.add_cross(points[i], points[j])
     return model
+
+
+def model_from_counters(group, data):
+    """Rebuild a :class:`CoverModel` skeleton (bins + hits) from
+    serialized coverage-DB counters.
+
+    ``data`` is one module's entry of a coverage database or a
+    record's coverage fragment (``{"points": ..., "crosses": ...,
+    "transitions": ...}``); the rebuilt model is what hole reports
+    (:mod:`repro.cover.holes`) run over — both the ``repro.cli
+    coverage --holes`` path and the coverage-hole section of a
+    forensic debug bundle.
+    """
+    model = CoverModel(name=group)
+    for name, entry in sorted((data.get("points") or {}).items()):
+        point = CoverPoint(name, [tuple(b) for b in entry["bins"]])
+        point.hits = {int(k): v for k, v in entry["hits"].items()}
+        model.points.append(point)
+    for name, entry in sorted((data.get("crosses") or {}).items()):
+        members = [model.point(p) for p in entry["points"]]
+        if any(m is None for m in members):
+            continue
+        cross = Cross(name=name, points=members)
+        cross.hits = {
+            tuple(int(i) for i in key.split("|")): count
+            for key, count in entry["hits"].items()
+        }
+        model.crosses.append(cross)
+    for name, entry in sorted((data.get("transitions") or {}).items()):
+        trans = TransitionPoint(
+            signal=entry["signal"],
+            seqs=[tuple(s) for s in entry["seqs"]], name=name,
+        )
+        trans.hits = {int(k): v for k, v in entry["hits"].items()}
+        model.transitions.append(trans)
+    return model

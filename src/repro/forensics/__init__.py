@@ -1,0 +1,39 @@
+"""Failure forensics: capture-on-failure debug bundles.
+
+Every failing work unit — scoreboard mismatch, lockstep
+cross-check divergence, fuzz-oracle failure — can be archived as a
+self-contained, content-addressed bundle under
+``<cache-dir>/forensics/`` (see :mod:`repro.forensics.bundle`), and
+``repro.cli triage`` lists, renders, replays and diffs those bundles
+(:mod:`repro.forensics.triage`).
+
+The package is a pure observer of the execution pipeline: capture
+reads finished records and re-runs failures on the side; nothing here
+ever feeds ``cache_key()`` or the bytes of a campaign record.
+"""
+
+from repro.forensics.bundle import (
+    FORENSICS_ENV,
+    capture_fuzz_failure,
+    capture_unit_failure,
+    capture_xcheck,
+    enabled,
+    forensics_dir,
+    maybe_init_worker,
+    scope,
+    suppress,
+    write_bundle,
+)
+
+__all__ = [
+    "FORENSICS_ENV",
+    "capture_fuzz_failure",
+    "capture_unit_failure",
+    "capture_xcheck",
+    "enabled",
+    "forensics_dir",
+    "maybe_init_worker",
+    "scope",
+    "suppress",
+    "write_bundle",
+]

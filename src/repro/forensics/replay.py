@@ -1,0 +1,107 @@
+"""Stimulus recording and replay for forensic debug bundles.
+
+A bundle must reproduce a failure *from the bundle alone* — no
+sequence generator, no bench registry state — so the stimulus is
+archived as a flat JSON op list in the fuzz-corpus style.  Two
+dialects share that shape:
+
+- ``fuzz`` — the fuzz corpus format exactly
+  (:mod:`repro.fuzz.oracle`): ``("poke", name, bits, xmask)`` /
+  ``("tick",)`` / ``("settle",)`` where ``settle`` implies a
+  10-unit time step;
+- ``uvm`` — the pin-op trace a :class:`RecordingSimulator` captures
+  from a live UVM run: ``("set", name, bits, xmask)`` /
+  ``("poke", name, bits, xmask)`` / ``("settle",)`` (plain) /
+  ``("step", amount)`` / ``("tick", clock, cycles, half_period)``.
+  Replaying calls the same simulator methods in the same order, so
+  the replayed trace is bit-identical to the recorded run.
+"""
+
+from repro.sim.values import Value
+
+
+class RecordingSimulator:
+    """Transparent proxy over any simulator that logs the pin-level
+    driving script.  Reads (``get``/``trace``/...) pass straight
+    through; every mutating call appends one ``uvm``-dialect op."""
+
+    def __init__(self, simulator):
+        self._sim = simulator
+        self.ops = []
+
+    def __getattr__(self, name):
+        return getattr(self._sim, name)
+
+    @staticmethod
+    def _bits_of(value):
+        if isinstance(value, Value):
+            return int(value.bits), int(value.xmask)
+        return int(value), 0
+
+    def set(self, name, value):
+        bits, xmask = self._bits_of(value)
+        self.ops.append(("set", name, bits, xmask))
+        self._sim.set(name, value)
+
+    def poke(self, name, value):
+        bits, xmask = self._bits_of(value)
+        self.ops.append(("poke", name, bits, xmask))
+        self._sim.poke(name, value)
+
+    def settle(self):
+        self.ops.append(("settle",))
+        self._sim.settle()
+
+    def step_time(self, amount=1):
+        self.ops.append(("step", int(amount)))
+        self._sim.step_time(amount)
+
+    def tick(self, clock="clk", cycles=1, half_period=5):
+        self.ops.append(("tick", clock, int(cycles), int(half_period)))
+        self._sim.tick(clock, cycles=cycles, half_period=half_period)
+
+
+def apply_recorded_ops(sim, ops, dialect="uvm"):
+    """Drive ``sim`` through an archived op list.
+
+    ``dialect="fuzz"`` delegates to the fuzz oracle's
+    :func:`~repro.fuzz.oracle.apply_stimulus` (its ``settle`` op also
+    advances time); ``dialect="uvm"`` replays a recorded pin-op trace
+    verbatim.
+    """
+    if dialect == "fuzz":
+        from repro.fuzz.oracle import apply_stimulus
+
+        apply_stimulus(sim, [tuple(op) for op in ops])
+        return sim
+    for op in ops:
+        op = tuple(op)
+        kind = op[0]
+        if kind == "set":
+            _, name, bits, xmask = op
+            sim.set(name, Value(bits, sim.signal_width(name), xmask))
+        elif kind == "poke":
+            _, name, bits, xmask = op
+            sim.poke(name, Value(bits, sim.signal_width(name), xmask))
+        elif kind == "settle":
+            sim.settle()
+        elif kind == "step":
+            sim.step_time(op[1])
+        elif kind == "tick":
+            _, clock, cycles, half_period = op
+            sim.tick(clock, cycles=cycles, half_period=half_period)
+        else:
+            raise ValueError(f"unknown recorded op {kind!r}")
+    return sim
+
+
+def traced_run(source, ops, dialect="uvm", top=None):
+    """Replay an op list against ``source`` on the reference
+    interpreter with tracing on; returns the simulator (its ``trace``
+    is the canonical waveform).  Raises whatever the run raises."""
+    from repro.sim.engine import Simulator
+    from repro.sim.elaborate import elaborate
+
+    sim = Simulator(elaborate(source, top=top), trace=True)
+    apply_recorded_ops(sim, ops, dialect=dialect)
+    return sim

@@ -1,0 +1,262 @@
+"""Triage operations over forensic debug bundles.
+
+Backing logic for ``repro.cli triage``: enumerate bundles in a
+forensics directory, render one bundle's divergence report, re-replay
+a bundle's archived stimulus against the *current* code (flagging
+bundles whose failure no longer reproduces as recorded), and diff two
+bundles section by section.
+
+Replays run entirely from the bundle contents — archived sources plus
+the flat op list — never from the bench registry or a live campaign,
+so a bundle stays actionable after the code that produced it changed.
+"""
+
+import json
+import os
+
+from repro.forensics import bundle as forensics
+from repro.forensics.diverge import (first_divergence, render_divergence)
+from repro.forensics.replay import apply_recorded_ops, traced_run
+
+
+def list_bundles(directory):
+    """All bundle manifests under ``directory``, sorted by bundle dir
+    name (content-addressed, so the order is stable)."""
+    found = []
+    if not os.path.isdir(directory):
+        return found
+    for entry in sorted(os.listdir(directory)):
+        manifest_path = os.path.join(directory, entry, "manifest.json")
+        if not os.path.isfile(manifest_path):
+            continue
+        try:
+            with open(manifest_path) as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        manifest["_dir"] = os.path.join(directory, entry)
+        found.append(manifest)
+    return found
+
+
+def resolve_bundle(directory, ref):
+    """Find one bundle by directory name, bundle id, or unique prefix."""
+    matches = [
+        manifest for manifest in list_bundles(directory)
+        if ref in (os.path.basename(manifest["_dir"]),
+                   manifest.get("bundle"))
+        or os.path.basename(manifest["_dir"]).startswith(ref)
+        or str(manifest.get("bundle", "")).startswith(ref)
+    ]
+    if not matches:
+        raise KeyError(f"no bundle matching '{ref}'")
+    if len(matches) > 1:
+        names = ", ".join(os.path.basename(m["_dir"]) for m in matches)
+        raise KeyError(f"ambiguous bundle '{ref}': {names}")
+    return matches[0]
+
+
+def _read_section(manifest, section, mode="r"):
+    filename = (manifest.get("sections") or {}).get(section)
+    if filename is None:
+        return None
+    path = os.path.join(manifest["_dir"], filename)
+    try:
+        with open(path, mode) as handle:
+            return handle.read()
+    except OSError:
+        return None
+
+
+def load_stimulus(manifest):
+    """The archived op list: ``(dialect, ops, top)``."""
+    raw = _read_section(manifest, "stimulus")
+    if raw is None:
+        return None, [], None
+    doc = json.loads(raw)
+    ops = [tuple(op) for op in doc.get("ops", ())]
+    return doc.get("dialect", "uvm"), ops, doc.get("top")
+
+
+def load_divergence(manifest):
+    raw = _read_section(manifest, "divergence")
+    return json.loads(raw) if raw else None
+
+
+def describe(manifest):
+    """One-screen rendering of a bundle for ``triage --show``."""
+    lines = [
+        "bundle    : %s" % os.path.basename(manifest["_dir"]),
+        "kind      : %s" % manifest.get("kind"),
+        "label     : %s" % manifest.get("label"),
+        "sections  : %s" % ", ".join(sorted(manifest.get("sections",
+                                                         {}))),
+    ]
+    failure = manifest.get("failure") or {}
+    for key in sorted(failure):
+        lines.append("  failure.%-12s %s" % (key, failure[key]))
+    divergence = load_divergence(manifest)
+    if divergence:
+        lines.append("")
+        lines.append(render_divergence(
+            divergence.get("first_divergence"),
+            divergence.get("cone")).rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def replay(manifest):
+    """Re-run a bundle's archived failure against current code.
+
+    Returns ``(reproduced, detail)``.  ``reproduced`` is True when the
+    failure recurs *as recorded* (same divergence signal/time, same
+    oracle kind...); a False means the current tree no longer exhibits
+    the archived behaviour — either a fix landed or the replay
+    contract broke, and both deserve a human look.
+    """
+    mode = (manifest.get("replay") or {}).get("mode", "uvm-compare")
+    with forensics.suppress():
+        if mode == "fuzz":
+            return _replay_fuzz(manifest)
+        if mode == "xcheck":
+            return _replay_xcheck(manifest)
+        return _replay_compare(manifest)
+
+
+def _replay_compare(manifest):
+    """Scoreboard bundles: replay the op list on both archived sources
+    and require the recorded first divergence to recur."""
+    dialect, ops, top = load_stimulus(manifest)
+    candidate_src = _read_section(manifest, "candidate_source")
+    golden_src = _read_section(manifest, "golden_source")
+    if candidate_src is None or golden_src is None:
+        return False, "bundle lacks candidate/golden sources"
+    expect = (manifest.get("replay") or {}).get("expect") or {}
+    if expect.get("run_error"):
+        # The recorded failure was "candidate never ran" (elaboration
+        # or simulation abort); reproduced iff that still holds.
+        from repro.hdl.errors import HdlError
+        from repro.sim.engine import SimulationError
+
+        try:
+            traced_run(candidate_src, ops, dialect=dialect, top=top)
+        except (HdlError, SimulationError) as exc:
+            return True, "candidate still fails to run (%s)" % (
+                str(exc).splitlines()[0])
+        return False, "candidate runs now (recorded: failed to run)"
+    candidate = traced_run(candidate_src, ops, dialect=dialect, top=top)
+    golden = traced_run(golden_src, ops, dialect=dialect, top=top)
+    report = first_divergence(golden.trace, candidate.trace)
+    if bool(report.get("diverged")) != bool(expect.get("diverged")):
+        return False, (
+            "recorded diverged=%s, replay diverged=%s"
+            % (expect.get("diverged"), report.get("diverged")))
+    if not report.get("diverged"):
+        return True, "no divergence, as recorded"
+    same = (report.get("signal") == expect.get("signal")
+            and report.get("time") == expect.get("time"))
+    detail = "replay diverges at t=%s on '%s' (recorded t=%s on '%s')" % (
+        report.get("time"), report.get("signal"),
+        expect.get("time"), expect.get("signal"))
+    return same, detail
+
+
+def _replay_xcheck(manifest):
+    """X-check bundles: re-run the recorded ops in lockstep and expect
+    an :class:`XCheckDivergence` at the recorded point."""
+    from repro.sim.compile.xcheck import (XCheckDivergence,
+                                          XCheckSimulator)
+
+    dialect, ops, top = load_stimulus(manifest)
+    source = _read_section(manifest, "candidate_source")
+    if source is None:
+        return False, "bundle lacks candidate source"
+    expect = (manifest.get("replay") or {}).get("expect") or {}
+    try:
+        sim = XCheckSimulator(source, top=top)
+        apply_recorded_ops(sim, ops, dialect=dialect)
+    except XCheckDivergence as exc:
+        signal = getattr(exc, "signal", None)
+        if expect.get("signal") in (None, signal):
+            return True, "lockstep divergence recurred (%s)" % exc
+        return False, (
+            "lockstep diverged on '%s', recorded '%s'"
+            % (signal, expect.get("signal")))
+    return False, "recorded lockstep divergence did not recur"
+
+
+def _replay_fuzz(manifest):
+    """Fuzz bundles: re-run the oracle and expect the same failure
+    kind."""
+    from repro.fuzz.oracle import run_oracle
+
+    _, ops, _ = load_stimulus(manifest)
+    source = _read_section(manifest, "candidate_source")
+    if source is None:
+        return False, "bundle lacks candidate source"
+    expect = (manifest.get("replay") or {}).get("expect") or {}
+    failure = run_oracle(source, ops)
+    if failure is None:
+        return False, "oracle passes now (recorded kind=%s)" % (
+            expect.get("kind"))
+    if expect.get("kind") in (None, failure.kind):
+        return True, "oracle failure recurred (kind=%s)" % failure.kind
+    return False, ("oracle fails with kind=%s, recorded kind=%s"
+                   % (failure.kind, expect.get("kind")))
+
+
+def diff_bundles(left, right):
+    """Section-by-section comparison of two bundles.
+
+    Returns report text: differing manifests/hashes, plus — when both
+    carry a candidate waveform — the first divergence *between the two
+    candidates*, which localizes what changed between two captures of
+    "the same" failure.
+    """
+    lines = ["%s  vs  %s" % (os.path.basename(left["_dir"]),
+                             os.path.basename(right["_dir"]))]
+    for key in ("kind", "label"):
+        lv, rv = left.get(key), right.get(key)
+        marker = "==" if lv == rv else "!="
+        lines.append("  %-10s %s  %s | %s" % (key, marker, lv, rv))
+    sections = sorted(set(left.get("sections", {}))
+                      | set(right.get("sections", {})))
+    left_sha = {left["sections"][s]: left["sha256"].get(left["sections"][s])
+                for s in left.get("sections", {})}
+    for section in sections:
+        lf = (left.get("sections") or {}).get(section)
+        rf = (right.get("sections") or {}).get(section)
+        if lf is None or rf is None:
+            lines.append("  section %-16s only in %s" % (
+                section, "right" if lf is None else "left"))
+            continue
+        lsha = (left.get("sha256") or {}).get(lf)
+        rsha = (right.get("sha256") or {}).get(rf)
+        lines.append("  section %-16s %s" % (
+            section, "identical" if lsha == rsha else "DIFFERS"))
+    ld, rd = load_divergence(left), load_divergence(right)
+    if ld and rd:
+        lr = ld.get("first_divergence") or {}
+        rr = rd.get("first_divergence") or {}
+        lines.append("  recorded divergence: t=%s '%s'  |  t=%s '%s'" % (
+            lr.get("time"), lr.get("signal"),
+            rr.get("time"), rr.get("signal")))
+    left_vcd = _read_section(left, "candidate_vcd")
+    right_vcd = _read_section(right, "candidate_vcd")
+    if left_vcd and right_vcd:
+        from repro.sim.vcd import parse_vcd
+
+        try:
+            lt = parse_vcd(left_vcd)["trace"]
+            rt = parse_vcd(right_vcd)["trace"]
+            cross = first_divergence(lt, rt)
+            if cross.get("diverged"):
+                lines.append(
+                    "  candidate waveforms split at t=%d on '%s'"
+                    % (cross["time"], cross["signal"]))
+            else:
+                lines.append("  candidate waveforms identical on %d "
+                             "shared signals"
+                             % cross.get("signals_compared", 0))
+        except Exception as exc:
+            lines.append("  waveform cross-diff failed: %s" % exc)
+    return "\n".join(lines) + "\n"

@@ -20,6 +20,7 @@ import os
 import time
 from dataclasses import dataclass
 
+from repro.forensics import bundle as forensics
 from repro.fuzz.generate import GENERATOR_VERSION, generate_design
 from repro.fuzz.oracle import check_design
 from repro.obs import sink, trace
@@ -102,7 +103,7 @@ def make_fuzz_cache(cache_dir):
 
 def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
              shard=None, time_budget=None, show_progress=False,
-             telemetry=False):
+             telemetry=False, forensics_capture=False):
     """Execute a fuzz campaign; returns the summary dict.
 
     ``shard`` is an ``(index, count)`` pair partitioning the seed
@@ -112,6 +113,11 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
     result is a pure function of ``(count, seed, cycles)``.
     ``telemetry`` writes span/metrics shards under
     ``<cache-dir>/telemetry/`` (verdicts are unaffected).
+    ``forensics_capture`` archives every failing verdict as a debug
+    bundle under ``<cache-dir>/forensics/`` — interp + compiled
+    waveforms, first-divergence report, archived stimulus — and lists
+    the bundle paths in the summary's ``forensics`` key (verdicts and
+    cache keys are unaffected).
     """
     units = expand_fuzz(count, seed=seed, cycles=cycles)
     if shard is not None:
@@ -133,12 +139,18 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
         os.path.join(os.fspath(cache_dir), "telemetry")
         if telemetry and cache_dir else None
     )
+    forensics_dir = (
+        os.path.join(os.fspath(cache_dir), "forensics")
+        if forensics_capture and cache_dir else None
+    )
 
     verdicts = []
+    bundles = []
     started = time.monotonic()
     exhausted = 0
     with kernel_cache.disk_cache(kernel_dir), \
             sink.telemetry_scope(telemetry_dir), \
+            forensics.scope(forensics_dir), \
             trace.span("fuzz-campaign", cat="scheduler", count=len(units)):
         if time_budget is None:
             verdicts = run_units(units, jobs=jobs, cache=cache,
@@ -157,7 +169,13 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
                     show_progress=show_progress,
                 ))
 
-    failures = [v for v in verdicts if not v["ok"]]
+        failures = [v for v in verdicts if not v["ok"]]
+        # Parent-side capture: failing verdicts embed source+ops, so
+        # bundling works identically for executed and cached verdicts.
+        if forensics_dir:
+            for verdict in failures:
+                bundles.append(forensics.capture_fuzz_failure(verdict))
+
     features = {}
     for verdict in verdicts:
         for tag in verdict.get("features", ()):
@@ -168,6 +186,7 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
         "skipped_by_budget": exhausted,
         "cached": cache.hits if cache else 0,
         "failures": failures,
+        "forensics": bundles,
         "features": dict(sorted(features.items())),
         "elapsed": time.monotonic() - started,
     }

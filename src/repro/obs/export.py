@@ -59,8 +59,50 @@ def _rate(hits, misses):
     return (hits / total) if total else None
 
 
-def summarize(spans, metrics, top=10):
-    """Aggregate merged telemetry into a JSON-pure report dict."""
+def _incomplete_units(spans, opens):
+    """Open markers with no matching finished ``unit`` span.
+
+    Spans buffer only on close, so a worker that died mid-unit leaves
+    an open marker and nothing else.  Matching is by (pid, label)
+    *count* — the same label may legitimately run several times across
+    a session, each run writing one marker and (normally) one span.
+    Elapsed time is bounded below by the youngest observed shard
+    timestamp; the unit may have run longer before the crash.
+    """
+    if not opens:
+        return []
+    finished = {}
+    latest_ts = 0.0
+    for item in spans:
+        latest_ts = max(latest_ts, item.get("ts", 0.0)
+                        + item.get("dur", 0.0))
+        if item.get("name") not in ("unit", "fuzz-unit"):
+            continue
+        key = (item.get("pid", 0), (item.get("attrs") or {}).get("label"))
+        finished[key] = finished.get(key, 0) + 1
+    rows = []
+    for marker in opens:
+        latest_ts = max(latest_ts, marker.get("ts", 0.0))
+        key = (marker.get("pid", 0), marker.get("label"))
+        if finished.get(key, 0) > 0:
+            finished[key] -= 1
+            continue
+        rows.append({
+            "label": marker.get("label", "?"),
+            "seconds": max(0.0, latest_ts - marker.get("ts", 0.0)),
+            "incomplete": True,
+        })
+    rows.sort(key=lambda row: (-row["seconds"], row["label"]))
+    return rows
+
+
+def summarize(spans, metrics, top=10, opens=None):
+    """Aggregate merged telemetry into a JSON-pure report dict.
+
+    ``opens`` (from :func:`repro.obs.sink.read_opens`) enables
+    incomplete-unit detection: units whose span never closed are
+    surfaced as explicit rows instead of silently vanishing.
+    """
     phases = {}
     selfs = _self_times(spans)
     for item, self_time in zip(spans, selfs):
@@ -120,6 +162,7 @@ def summarize(spans, metrics, top=10):
     return {
         "phases": {name: phases[name] for name in sorted(phases)},
         "slowest_units": slowest,
+        "incomplete_units": _incomplete_units(spans, opens or []),
         "modules": {name: modules[name] for name in sorted(modules)},
         "caches": caches,
         "demotions": demotions,
@@ -189,6 +232,15 @@ def render_summary(report, markdown=False):
             suffix = " (cached)" if row.get("cached") else ""
             lines.append("  %8s  %s%s" % (_fmt_seconds(row["seconds"]),
                                           row["label"], suffix))
+        lines.append("")
+
+    incomplete = report.get("incomplete_units", [])
+    if incomplete:
+        lines.append(bold("Incomplete units") + " (span never closed — "
+                     "worker crashed or was killed mid-unit)")
+        for row in incomplete:
+            lines.append("  %8s+ %s INCOMPLETE"
+                         % (_fmt_seconds(row["seconds"]), row["label"]))
         lines.append("")
 
     demotions = report.get("demotions", {})

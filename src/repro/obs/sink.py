@@ -116,6 +116,52 @@ def _write_shard(lines, stem):
         raise
 
 
+def mark_open(name, label):
+    """Immediately shard an *open marker* for a span that is about to
+    start.
+
+    Spans only land in the buffer when they close, so a worker that
+    crashes (or is killed) mid-unit leaves no trace of the unit at
+    all.  The scheduler writes one open marker per unit *before*
+    execution; the report matches markers against finished ``unit``
+    spans and surfaces the unmatched ones as explicit ``incomplete``
+    rows instead of silently dropping them.
+    """
+    if _dir is None:
+        return None
+    import time
+
+    return _write_shard(
+        [{"kind": "open", "name": name, "label": label,
+          "ts": time.time(), "pid": os.getpid()}],
+        "opens",
+    )
+
+
+def read_opens(path):
+    """All open markers under a telemetry directory, in deterministic
+    order (``read_shards`` skips them; this is the dedicated reader)."""
+    opens = []
+    path = os.fspath(path)
+    try:
+        names = sorted(os.listdir(path))
+    except FileNotFoundError:
+        return opens
+    for name in names:
+        if not name.endswith(".jsonl") or name.startswith("."):
+            continue
+        with open(os.path.join(path, name)) as handle:
+            for raw in handle:
+                raw = raw.strip()
+                if not raw:
+                    continue
+                line = json.loads(raw)
+                if line.get("kind") == "open":
+                    opens.append(line)
+    opens.sort(key=_span_order)
+    return opens
+
+
 def flush_spans():
     """Drain the tracer's buffer into a fresh span shard."""
     if _dir is None:

@@ -27,6 +27,7 @@ import concurrent.futures
 import os
 import time
 
+from repro.forensics import bundle as forensics
 from repro.obs import sink, trace
 from repro.obs.metrics import GLOBAL as _global_metrics
 from repro.obs.metrics import MetricsRegistry, classify_demotion
@@ -64,13 +65,21 @@ def _execute_with_stats(executor, unit):
     regardless of how units were distributed over worker processes.
     """
     sink.maybe_init_worker()
+    forensics.maybe_init_worker()
+    label = _unit_label(unit)
+    sink.mark_open("unit", label)
     before = _global_metrics.snapshot()
     start = time.perf_counter()
-    with trace.span("unit", cat="scheduler", label=_unit_label(unit)):
+    with trace.span("unit", cat="scheduler", label=label):
         record = executor(unit)
     _global_metrics.observe("unit.seconds", time.perf_counter() - start)
     _global_metrics.inc("units.executed")
     sink.flush_spans()
+    # Capture AFTER the span flush so the bundle's span slice can read
+    # this unit's shard; capture only observes the finished record.
+    if forensics.enabled():
+        forensics.capture_unit_failure(unit, record)
+        sink.flush_spans()  # don't bill forensic re-run spans to a peer
     return record, _global_metrics.delta(before)
 
 
@@ -84,6 +93,9 @@ def _execute_group_with_stats(units, lanes):
     from repro.experiments.runner import execute_unit_group
 
     sink.maybe_init_worker()
+    forensics.maybe_init_worker()
+    for unit in units:
+        sink.mark_open("unit", _unit_label(unit))
     before = _global_metrics.snapshot()
     start = time.perf_counter()
     with trace.span("unit-group", cat="scheduler", size=len(units),
@@ -106,6 +118,13 @@ def _execute_group_with_stats(units, lanes):
                 "lanes.demotion." + classify_demotion(info.get("demotion"))
             )
     sink.flush_spans()
+    # A failing unit inside a packed lane batch is demoted to a scalar
+    # traced re-run by the capture pipeline itself (the bundle's
+    # waveform never comes from packed state).
+    if forensics.enabled():
+        for unit, record in zip(units, records):
+            forensics.capture_unit_failure(unit, record)
+        sink.flush_spans()
     return records, lane_infos, _global_metrics.delta(before)
 
 
@@ -228,6 +247,11 @@ class CampaignRunner:
                 if instance is not None:
                     _restamp(record, instance)
                 results[position] = record
+                # Warm-cache runs still bundle their failures (the
+                # content-addressed id makes re-captures idempotent).
+                if forensics.enabled():
+                    forensics.capture_unit_failure(units[position],
+                                                   record)
                 advance(True)
             else:
                 pending.append(position)
@@ -367,7 +391,8 @@ def _restamp(record, instance):
 
 def run_units(units, jobs=1, cache_dir=None, progress=None,
               show_progress=False, reporter=None, cache=None,
-              executor=None, lanes=1, telemetry=False):
+              executor=None, lanes=1, telemetry=False,
+              forensics_capture=False):
     """Convenience front door used by the experiment drivers.
 
     ``cache_dir`` of ``None`` disables memoization; an explicit
@@ -380,6 +405,10 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
     bit-identical to a ``lanes=1`` run).  ``telemetry`` writes span
     and metrics shards under ``<cache-dir>/telemetry/`` (requires
     ``cache_dir``; records are unaffected — timing is sidecar-only).
+    ``forensics_capture`` archives every failing unit as a debug
+    bundle under ``<cache-dir>/forensics/`` (requires ``cache_dir``;
+    records and cache keys are unaffected — capture is sidecar-only,
+    exactly like telemetry).
     """
     units = list(units)
     from repro.sim.compile import cache as kernel_cache
@@ -396,6 +425,10 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
         os.path.join(os.fspath(cache_dir), "telemetry")
         if telemetry and cache_dir else None
     )
+    forensics_dir = (
+        os.path.join(os.fspath(cache_dir), "forensics")
+        if forensics_capture and cache_dir else None
+    )
     if cache is None and cache_dir:
         cache = ResultCache(cache_dir)
     if reporter is None and show_progress and units:
@@ -404,10 +437,11 @@ def run_units(units, jobs=1, cache_dir=None, progress=None,
                             executor=executor, lanes=lanes)
     with kernel_cache.disk_cache(kernel_dir):
         with sink.telemetry_scope(telemetry_dir):
-            with trace.span("campaign", cat="scheduler",
-                            units=len(units), jobs=runner.jobs,
-                            lanes=runner.lanes):
-                return runner.run(units, progress=progress)
+            with forensics.scope(forensics_dir):
+                with trace.span("campaign", cat="scheduler",
+                                units=len(units), jobs=runner.jobs,
+                                lanes=runner.lanes):
+                    return runner.run(units, progress=progress)
 
 
 def default_jobs():

@@ -20,8 +20,30 @@ from repro.sim.engine import SimulationError, Simulator
 from repro.sim.values import Value
 
 
+def _forensics_enabled():
+    """Whether failure capture is live (lazy import: the sim layer must
+    not depend on the forensics package at import time)."""
+    try:
+        from repro.forensics import bundle
+
+        return bundle.enabled()
+    except Exception:
+        return False
+
+
 class XCheckDivergence(SimulationError):
-    """The compiled backend diverged from the interpreter."""
+    """The compiled backend diverged from the interpreter.
+
+    When raised by :class:`XCheckSimulator` the exception carries
+    structured fields for triage replays: ``signal`` (or None for
+    time/signal-set divergences), ``time``, ``context``, and
+    ``bundle`` — the forensic bundle directory when capture was on.
+    """
+
+    signal = None
+    time = None
+    context = None
+    bundle = None
 
 
 class XCheckSimulator:
@@ -46,6 +68,11 @@ class XCheckSimulator:
                                      trace=trace,
                                      code_coverage=code_coverage)
         self.compare_count = 0
+        # Forensics: keep the source and (capture-enabled runs only)
+        # the pin-op script, so a divergence bundles a standalone
+        # reproducer.  ``None`` ops == recording off, zero overhead.
+        self._source = design
+        self._forensic_ops = [] if _forensics_enabled() else None
         self._compare("construction")
 
     # -- state mirrored from the reference side ------------------------------
@@ -75,22 +102,41 @@ class XCheckSimulator:
         return self.ref.event_count
 
     # -- pin-level API -------------------------------------------------------
+    # ``tick`` decomposes through set/step_time, so recording only in
+    # the four primitive mutators captures the full script exactly
+    # once.
+
+    def _record(self, *op):
+        if self._forensic_ops is not None:
+            self._forensic_ops.append(op)
+
+    @staticmethod
+    def _op_bits(value):
+        if isinstance(value, Value):
+            return int(value.bits), int(value.xmask)
+        return int(value), 0
 
     def set(self, name, value):
+        if self._forensic_ops is not None:
+            self._record("set", name, *self._op_bits(value))
         self.ref.set(name, value)
         self.dut.set(name, value)
         self._compare(f"set({name!r})")
 
     def poke(self, name, value):
+        if self._forensic_ops is not None:
+            self._record("poke", name, *self._op_bits(value))
         self.ref.poke(name, value)
         self.dut.poke(name, value)
 
     def settle(self):
+        self._record("settle")
         self.ref.settle()
         self.dut.settle()
         self._compare("settle()")
 
     def step_time(self, amount=1):
+        self._record("step", int(amount))
         self.ref.step_time(amount)
         self.dut.step_time(amount)
 
@@ -131,7 +177,8 @@ class XCheckSimulator:
     def _compare(self, context):
         self.compare_count += 1
         if self.ref.time != self.dut.time:
-            raise XCheckDivergence(
+            self._raise_divergence(
+                context, None, self.ref.time, self.dut.time,
                 f"xcheck: time diverged after {context}: "
                 f"interp={self.ref.time} compiled={self.dut.time}"
             )
@@ -140,7 +187,8 @@ class XCheckSimulator:
             extra = sorted(
                 set(dut_signals) ^ set(self.ref.design.signals)
             )
-            raise XCheckDivergence(
+            self._raise_divergence(
+                context, None, None, None,
                 f"xcheck: signal sets diverged after {context}: "
                 f"only on one side: {extra[:8]}"
             )
@@ -165,11 +213,30 @@ class XCheckSimulator:
                     )
 
     def _diverge(self, context, name, ref_value, dut_value):
-        raise XCheckDivergence(
+        self._raise_divergence(
+            context, name, ref_value, dut_value,
             f"xcheck: backends diverged after {context} at "
             f"t={self.ref.time}: signal '{name}' "
             f"interp={ref_value!r} compiled={dut_value!r}"
         )
+
+    def _raise_divergence(self, context, name, ref_value, dut_value,
+                          message):
+        """Single exit for every divergence: bundle it (when forensic
+        capture is on), then raise with structured fields attached."""
+        exc = XCheckDivergence(message)
+        exc.signal = name
+        exc.time = int(self.ref.time)
+        exc.context = context
+        try:
+            from repro.forensics import bundle as _forensics
+
+            if _forensics.enabled():
+                exc.bundle = _forensics.capture_xcheck(
+                    self, context, name, ref_value, dut_value, message)
+        except Exception:
+            pass  # capture is best-effort; the divergence must surface
+        raise exc
 
 
 # -- lane-vs-scalar parity ----------------------------------------------------

@@ -76,7 +76,15 @@ class Simulator:
         # wrapping for repeated poke()/set() drives.
         self._tick_cache = {}
         self._poke_cache = {}
-        self._run_initial()
+        try:
+            self._run_initial()
+        except SimulationError as exc:
+            # The abort still leaves a partial value-change trace (the
+            # t=0 seeding plus everything initial/comb execution wrote
+            # before failing) — carry the half-constructed simulator on
+            # the exception so callers can flush that waveform.
+            exc.partial_simulator = self
+            raise
 
     # -- public API ------------------------------------------------------------
 

@@ -37,6 +37,10 @@ class TestResult:
     #: ``{"functional": CoverModel.to_dict() | None,
     #:    "code": CodeCoverage.to_dict() | None}``.
     coverage_detail: dict = field(default_factory=dict)
+    #: Pin-level op list recorded by a ``record_ops=True`` run — the
+    #: replayable stimulus a forensic debug bundle archives.  Never
+    #: part of campaign record bytes.
+    ops: list = field(default_factory=list)
 
     @property
     def all_passed(self):
@@ -69,7 +73,7 @@ class UVMTest:
 
     def __init__(self, source, sequence, protocol, reference_model,
                  compare_signals, top=None, backend=None, coverage=None,
-                 code_coverage=False):
+                 code_coverage=False, record_ops=False):
         self.source = source
         self.sequence = sequence
         self.protocol = protocol
@@ -79,6 +83,10 @@ class UVMTest:
         self.backend = backend
         self.coverage = coverage
         self.code_coverage = code_coverage
+        # Forensic capture: wrap the simulator in a recording proxy so
+        # the driven pin-op sequence comes back in TestResult.ops as a
+        # replayable script (off in the hot path).
+        self.record_ops = record_ops
 
     def run(self):
         with trace.span("simulate", cat="uvm") as sp:
@@ -103,7 +111,20 @@ class UVMTest:
             raise  # a backend bug, not a DUT failure: surface loudly
         except (HdlError, SimulationError) as exc:
             log.error(0, "ELAB", f"elaboration failed: {exc}")
-            return TestResult(ok=False, log=log, error=str(exc))
+            # An initial-time SimulationError (combinational loop,
+            # runaway deltas) still recorded a partial trace: surface
+            # the half-constructed simulator so `simulate --vcd` can
+            # flush the waveform up to the abort point.
+            partial = getattr(exc, "partial_simulator", None)
+            return TestResult(
+                ok=False, log=log, error=str(exc),
+                trace=getattr(partial, "trace", None) or {},
+                simulator=partial,
+            )
+        if self.record_ops:
+            from repro.forensics.replay import RecordingSimulator
+
+            simulator = RecordingSimulator(simulator)
         env = Environment(
             simulator, self.sequence, self.protocol, self.reference_model,
             self.compare_signals, coverage=self.coverage, log=log,
@@ -117,6 +138,7 @@ class UVMTest:
             return TestResult(
                 ok=False, log=log, error=str(exc),
                 trace=simulator.trace, simulator=simulator,
+                ops=list(getattr(simulator, "ops", ())),
             )
         return TestResult(
             ok=True,
@@ -128,6 +150,7 @@ class UVMTest:
             simulator=simulator,
             checked=scoreboard.checked,
             coverage_detail=self._coverage_detail(env, simulator),
+            ops=list(getattr(simulator, "ops", ())),
         )
 
     @staticmethod
@@ -143,10 +166,11 @@ class UVMTest:
 
 def run_uvm_test(source, sequence, protocol, reference_model,
                  compare_signals, top=None, backend=None, coverage=None,
-                 code_coverage=False):
+                 code_coverage=False, record_ops=False):
     """One-shot convenience wrapper around :class:`UVMTest`."""
     test = UVMTest(
         source, sequence, protocol, reference_model, compare_signals, top,
         backend=backend, coverage=coverage, code_coverage=code_coverage,
+        record_ops=record_ops,
     )
     return test.run()

@@ -1,0 +1,351 @@
+"""Failure forensics: capture-on-failure debug bundles + triage.
+
+The load-bearing guarantees:
+
+- capture is a pure observer: cached record bytes are identical with
+  ``--forensics`` on or off (the same sidecar-only invariant telemetry
+  holds);
+- bundles are content-addressed and deterministic — two captures of
+  the same failure produce byte-identical manifests modulo the
+  ``created`` timestamp;
+- all three failure producers (UVM scoreboard units, X-check
+  lockstep, fuzz oracle) emit bundles, and scoreboard bundles from
+  simulating mutants carry every ``COMPLETE_SECTIONS`` entry;
+- ``triage`` replays a bundle from its archived contents alone, and
+  correctly reports both "reproduced" and "no longer reproduces";
+- never-closed ``unit`` spans surface as explicit INCOMPLETE report
+  rows instead of vanishing;
+- a simulation abort still flushes the partial waveform, with the
+  abort point in a trailing VCD comment.
+"""
+
+import hashlib
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.bench import get_module
+from repro.errgen.generator import generate_dataset
+from repro.forensics import bundle as forensics
+from repro.forensics import triage
+from repro.forensics.bundle import COMPLETE_SECTIONS
+from repro.obs import export, sink, trace
+from repro.runner import expand_grid, run_units
+
+MODULE = "counter_12"
+#: Forces every unit to fail: no repair iterations at all, so a mutant
+#: the HR suite detects stays broken (per_operator=2 of counter_12 is
+#: the smallest slice with detected, simulating mutants).
+NO_REPAIR = {"max_iterations": 0, "ms_iterations": 0}
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    trace.reset()
+    yield
+    trace.reset()
+
+
+@pytest.fixture(scope="module")
+def failing_units():
+    instances = generate_dataset(
+        seed=0, per_operator=2, target=None, modules=[MODULE],
+    )
+    return expand_grid(instances, ("uvllm",), attempts=1,
+                       config_overrides=NO_REPAIR)
+
+
+@pytest.fixture(scope="module")
+def captured(failing_units, tmp_path_factory):
+    """One forced-failure campaign with capture on; returns
+    ``(cache_dir, records, bundles)``."""
+    cache_dir = str(tmp_path_factory.mktemp("forensics-campaign"))
+    records = run_units(list(failing_units), jobs=1, cache_dir=cache_dir,
+                        telemetry=True, forensics_capture=True)
+    bundles = triage.list_bundles(os.path.join(cache_dir, "forensics"))
+    return cache_dir, records, bundles
+
+
+def _unit_digests(cache_dir):
+    unit_dir = os.path.join(cache_dir, "units")
+    return {
+        name: hashlib.sha256(
+            open(os.path.join(unit_dir, name), "rb").read()
+        ).hexdigest()
+        for name in sorted(os.listdir(unit_dir))
+    }
+
+
+@pytest.mark.campaign
+class TestScoreboardCapture:
+    def test_every_failing_unit_bundled(self, captured):
+        _, records, bundles = captured
+        failing = [r for r in records if not r.hit]
+        assert failing, "forced-failure grid produced no failures"
+        assert len(bundles) == len(failing)
+        assert all(m.get("kind") == "scoreboard" for m in bundles)
+
+    def test_simulating_mutants_carry_all_sections(self, captured):
+        _, _, bundles = captured
+        complete = [
+            m for m in bundles
+            if set(COMPLETE_SECTIONS) <= set(m.get("sections", {}))
+        ]
+        assert complete, (
+            "no bundle carries all of %s" % (COMPLETE_SECTIONS,))
+        # Elaboration-failure mutants legitimately lack waveforms but
+        # must still archive source + stimulus + replay contract.
+        for manifest in bundles:
+            assert "candidate_source" in manifest["sections"]
+            assert "stimulus" in manifest["sections"]
+            assert manifest.get("replay", {}).get("mode")
+
+    def test_section_hashes_match_contents(self, captured):
+        _, _, bundles = captured
+        manifest = bundles[0]
+        for filename, digest in manifest["sha256"].items():
+            path = os.path.join(manifest["_dir"], filename)
+            actual = hashlib.sha256(open(path, "rb").read()).hexdigest()
+            assert actual == digest
+
+    def test_replay_reproduces_from_bundle_alone(self, captured):
+        _, _, bundles = captured
+        complete = [
+            m for m in bundles
+            if set(COMPLETE_SECTIONS) <= set(m.get("sections", {}))
+        ]
+        reproduced, detail = triage.replay(complete[0])
+        assert reproduced, detail
+
+    def test_replay_flags_fixed_bundle(self, captured, tmp_path):
+        """Overwriting the archived candidate with the golden source
+        models 'the bug got fixed': replay must say NOT reproduced."""
+        _, _, bundles = captured
+        complete = [
+            m for m in bundles
+            if set(COMPLETE_SECTIONS) <= set(m.get("sections", {}))
+        ]
+        src = complete[0]["_dir"]
+        dst = str(tmp_path / os.path.basename(src))
+        shutil.copytree(src, dst)
+        manifest = triage.resolve_bundle(str(tmp_path),
+                                         os.path.basename(dst))
+        golden = open(os.path.join(
+            dst, manifest["sections"]["golden_source"])).read()
+        with open(os.path.join(
+                dst, manifest["sections"]["candidate_source"]),
+                "w") as handle:
+            handle.write(golden)
+        reproduced, detail = triage.replay(manifest)
+        assert not reproduced
+        assert "diverge" in detail
+
+    def test_triage_describe_renders_divergence(self, captured):
+        _, _, bundles = captured
+        complete = [
+            m for m in bundles
+            if set(COMPLETE_SECTIONS) <= set(m.get("sections", {}))
+        ]
+        text = triage.describe(complete[0])
+        assert "first divergence at t=" in text
+        assert "fan-in cone" in text
+
+    def test_capture_idempotent_on_warm_cache(self, captured,
+                                              failing_units):
+        """A warm re-run resolves from cache yet still lands on the
+        same content-addressed bundles — no duplicates."""
+        cache_dir, _, bundles = captured
+        run_units(list(failing_units), jobs=1, cache_dir=cache_dir,
+                  telemetry=True, forensics_capture=True)
+        again = triage.list_bundles(os.path.join(cache_dir, "forensics"))
+        assert ([os.path.basename(m["_dir"]) for m in again]
+                == [os.path.basename(m["_dir"]) for m in bundles])
+
+    def test_records_byte_identical_with_forensics_off(
+            self, failing_units, tmp_path):
+        units = list(failing_units)[:4]
+        dir_on = str(tmp_path / "on")
+        dir_off = str(tmp_path / "off")
+        run_units(list(units), jobs=1, cache_dir=dir_on,
+                  telemetry=True, forensics_capture=True)
+        run_units(list(units), jobs=1, cache_dir=dir_off)
+        assert _unit_digests(dir_on) == _unit_digests(dir_off)
+        assert os.path.isdir(os.path.join(dir_on, "forensics"))
+        assert not os.path.isdir(os.path.join(dir_off, "forensics"))
+
+
+def _synthetic_fuzz_verdict():
+    """A fuzz verdict shaped like a real oracle failure, built from a
+    generated design that actually passes — which is exactly what lets
+    the replay test exercise the 'oracle passes now' branch."""
+    from repro.fuzz.generate import generate_design
+    from repro.fuzz.oracle import check_design
+
+    design = generate_design(3)
+    ops, _ = check_design(design, cycles=8, stim_seed=0)
+    return {
+        "design_seed": 3, "stim_seed": 0, "cycles": 8, "ok": False,
+        "failure": {"kind": "value-mismatch", "detail": "synthetic"},
+        "source": design.source,
+        "ops": [list(op) for op in ops],
+    }
+
+
+class TestFuzzCapture:
+    def test_bundle_sections_and_determinism(self, tmp_path):
+        verdict = _synthetic_fuzz_verdict()
+        manifests = []
+        for sub in ("a", "b"):
+            with forensics.scope(str(tmp_path / sub)):
+                bundle_dir = forensics.capture_fuzz_failure(verdict)
+            assert bundle_dir and os.path.isdir(bundle_dir)
+            manifest = json.load(
+                open(os.path.join(bundle_dir, "manifest.json")))
+            manifests.append(manifest)
+        for manifest in manifests:
+            assert manifest["kind"] == "fuzz"
+            for section in ("stimulus", "candidate_source",
+                            "golden_vcd", "candidate_vcd"):
+                assert section in manifest["sections"]
+        # Content-addressed determinism: identical modulo timestamp.
+        for manifest in manifests:
+            manifest.pop("created", None)
+        assert manifests[0] == manifests[1]
+
+    def test_replay_reports_oracle_passes_now(self, tmp_path):
+        with forensics.scope(str(tmp_path)):
+            forensics.capture_fuzz_failure(_synthetic_fuzz_verdict())
+        manifest = triage.list_bundles(str(tmp_path))[0]
+        reproduced, detail = triage.replay(manifest)
+        assert not reproduced
+        assert "oracle passes now" in detail
+
+    def test_capture_disabled_outside_scope(self):
+        assert not forensics.enabled()
+        assert forensics.capture_fuzz_failure(
+            _synthetic_fuzz_verdict()) is None
+
+
+class TestXCheckCapture:
+    def test_lockstep_divergence_produces_bundle(self, tmp_path):
+        from repro.sim.compile.xcheck import (XCheckDivergence,
+                                              XCheckSimulator)
+        from repro.sim.values import Value
+
+        bench = get_module(MODULE)
+        with forensics.scope(str(tmp_path)):
+            sim = XCheckSimulator(bench.source)
+            sim.set("rst_n", 1)
+            sim.tick()
+            # Corrupt the compiled side's state register: the next
+            # lockstep compare must flag 'out' and capture a bundle.
+            sim.dut.design.signals["out"].value = Value(9, 4, 0)
+            with pytest.raises(XCheckDivergence) as info:
+                sim.tick()
+        exc = info.value
+        assert exc.signal == "out"
+        assert exc.bundle and os.path.isdir(exc.bundle)
+        manifest = triage.list_bundles(str(tmp_path))[0]
+        assert manifest["kind"] == "xcheck"
+        assert manifest["replay"]["mode"] == "xcheck"
+        for section in ("stimulus", "candidate_source", "divergence"):
+            assert section in manifest["sections"]
+        dialect, ops, _ = triage.load_stimulus(manifest)
+        assert dialect == "uvm"
+        assert ops, "lockstep ops were not recorded"
+
+    def test_manual_corruption_does_not_replay(self, tmp_path):
+        """The corrupted state is not in the op list, so an honest
+        replay must NOT reproduce — the contract that keeps replay
+        verdicts meaningful."""
+        from repro.sim.compile.xcheck import (XCheckDivergence,
+                                              XCheckSimulator)
+        from repro.sim.values import Value
+
+        bench = get_module(MODULE)
+        with forensics.scope(str(tmp_path)):
+            sim = XCheckSimulator(bench.source)
+            sim.set("rst_n", 1)
+            sim.tick()
+            sim.dut.design.signals["out"].value = Value(9, 4, 0)
+            with pytest.raises(XCheckDivergence):
+                sim.tick()
+        manifest = triage.list_bundles(str(tmp_path))[0]
+        reproduced, _ = triage.replay(manifest)
+        assert not reproduced
+
+
+class TestIncompleteReport:
+    def test_unmatched_open_marker_becomes_incomplete_row(
+            self, tmp_path):
+        tdir = str(tmp_path / "telemetry")
+        with sink.telemetry_scope(tdir):
+            sink.mark_open("unit", "ghost::unit")  # never closes
+            trace.enable(True)
+            with trace.span("campaign", cat="test"):
+                pass
+            sink.flush_spans()
+        spans, metrics = sink.read_shards(tdir)
+        opens = sink.read_opens(tdir)
+        report = export.summarize(spans, metrics, opens=opens)
+        rows = report["incomplete_units"]
+        assert [row["label"] for row in rows] == ["ghost::unit"]
+        assert rows[0]["incomplete"] is True
+        text = export.render_summary(report)
+        assert "INCOMPLETE" in text
+        assert "ghost::unit" in text
+
+    def test_closed_unit_span_matches_its_marker(self, tmp_path):
+        tdir = str(tmp_path / "telemetry")
+        with sink.telemetry_scope(tdir):
+            sink.mark_open("unit", "done::unit")
+            trace.enable(True)
+            with trace.span("unit", cat="scheduler",
+                            label="done::unit"):
+                pass
+            sink.flush_spans()
+        spans, metrics = sink.read_shards(tdir)
+        opens = sink.read_opens(tdir)
+        assert opens, "open marker was not written"
+        report = export.summarize(spans, metrics, opens=opens)
+        assert report["incomplete_units"] == []
+
+
+class TestAbortFlush:
+    #: counter_12 with an initial block that never terminates: the
+    #: engine's loop guard aborts construction mid-initial.
+    _HANG = ("  reg __t;\n  initial begin\n    __t = 1'b0;\n"
+             "    while (1'b1) __t = ~__t;\n  end\nendmodule")
+
+    def _hanging_source(self):
+        bench = get_module(MODULE)
+        return bench.source.replace("endmodule", self._HANG)
+
+    def test_abort_carries_partial_simulator(self):
+        from repro.sim.elaborate import elaborate
+        from repro.sim.engine import SimulationError, Simulator
+
+        with pytest.raises(SimulationError) as info:
+            Simulator(elaborate(self._hanging_source()), trace=True)
+        partial = info.value.partial_simulator
+        assert partial is not None
+        assert "out" in partial.trace
+
+    def test_simulate_cli_flushes_partial_vcd(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.sim.vcd import parse_vcd
+
+        path = tmp_path / "hang.v"
+        path.write_text(self._hanging_source())
+        vcd_path = tmp_path / "partial.vcd"
+        code = main([
+            "simulate", "--bench", MODULE, "--file", str(path),
+            "--vcd", str(vcd_path),
+        ])
+        assert code == 1
+        text = vcd_path.read_text()
+        parsed = parse_vcd(text)
+        assert any("aborted at t=" in c for c in parsed["comments"])
+        assert "out" in parsed["trace"]
