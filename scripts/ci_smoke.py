@@ -33,7 +33,13 @@ would otherwise hide:
   scalar compiled campaign *bit-for-bit*: identical HR/FR rate
   tables, identical per-record coverage fragments, identical merged
   coverage DB, identical records full stop — lane packing is an
-  execution strategy, never a semantics change.
+  execution strategy, never a semantics change.  A second,
+  repair-heavy mini campaign (one failing slice replicated across
+  seeds so repair-attempt re-verifications coincide) must also match
+  scalar bit-for-bit *and* post more lane batches than its initial
+  verifications alone account for — proving the lockstep driver
+  actually groups repair re-runs instead of quietly running them
+  scalar.
 
 - the cold pass runs inside a telemetry scope and its span tree must
   contain every expected campaign phase (parse, elaborate, simulate,
@@ -64,6 +70,7 @@ import argparse
 import os
 import sys
 import tempfile
+from dataclasses import replace
 
 from repro.cover.db import CoverageDB
 from repro.errgen.generator import generate_dataset
@@ -321,6 +328,59 @@ def main():
               f"{stats['demoted_batches']} scalar-demoted; records, "
               f"HR/FR tables and merged coverage bit-identical over "
               f"{len(lane_units)} units")
+
+        # Repair-heavy leg: one failing slice replicated across base
+        # seeds, so several units of each design group fail their
+        # initial verification together and their repair-attempt
+        # re-verifications coincide.  Each group's shared initial pass
+        # accounts for at most one batch at this lane width — any
+        # batch beyond that count came from the lockstep repair
+        # rounds, which is exactly what this leg must prove happens.
+        repair_subset = generate_dataset(
+            seed=0, per_operator=2, target=None, modules=["counter_12"],
+            cache_dir=dataset_cache_dir,
+        )
+        repair_units = []
+        for seed in range(3):
+            for unit in expand_grid(repair_subset, ("uvllm",),
+                                    attempts=ATTEMPTS, base_seed=seed,
+                                    backend="compiled"):
+                repair_units.append(
+                    replace(unit, index=len(repair_units)))
+        scalar_repair = CampaignRunner(
+            jobs=args.jobs,
+            cache=ResultCache(tempfile.mkdtemp(prefix="ci-smoke-rs-")),
+        ).run(repair_units)
+        repair_runner = CampaignRunner(
+            jobs=args.jobs,
+            cache=ResultCache(tempfile.mkdtemp(prefix="ci-smoke-rl-")),
+            lanes=args.lanes,
+        )
+        lane_repair = repair_runner.run(repair_units)
+        if lane_repair != scalar_repair:
+            diverged = [
+                scalar_repair[i].instance_id
+                for i in range(len(scalar_repair))
+                if lane_repair[i] != scalar_repair[i]
+            ]
+            return fail(
+                f"repair-heavy lane campaign records diverge from "
+                f"scalar compiled; first offenders: {diverged[:5]}"
+            )
+        rstats = repair_runner.lane_stats
+        batches = rstats["packed_batches"] + rstats["demoted_batches"]
+        groups = len(repair_subset)
+        if batches <= groups:
+            return fail(
+                f"repair-heavy lane campaign dispatched {batches} lane "
+                f"batches over {groups} design groups — at most one "
+                f"initial batch per group, so repair re-verifications "
+                f"are not being lane-grouped"
+            )
+        print(f"repair-heavy lane parity ok: {len(repair_units)} units "
+              f"in {groups} groups dispatched {batches} lane batches "
+              f"({batches - groups}+ from lockstep repair rounds); "
+              f"records bit-identical to scalar compiled")
 
     code = forensics_gate(args)
     if code:

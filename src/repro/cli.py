@@ -185,8 +185,16 @@ def _cmd_campaign(args):
                   f"(see 'bench-list')", file=sys.stderr)
             return 2
     jobs = args.jobs if args.jobs > 0 else default_jobs()
-    if args.lanes == "auto":
-        lanes = default_lanes()
+    if args.lanes is None or args.lanes == "auto":
+        # Explicit 'auto' insists REPRO_SIM_LANES is set; with the
+        # flag omitted an unset variable just means 1 — but a set,
+        # malformed variable is an error either way, never a silent
+        # fallback to a serial campaign.
+        try:
+            lanes = default_lanes(require=args.lanes == "auto")
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
     else:
         try:
             lanes = max(1, int(args.lanes))
@@ -670,12 +678,13 @@ def build_parser():
                           help="simulation backend for every UVM run "
                                "(default: interp, or REPRO_SIM_BACKEND); "
                                "cache records are keyed per backend")
-    campaign.add_argument("--lanes", default="auto",
+    campaign.add_argument("--lanes", default=None,
                           help="pack up to N stimulus seeds per "
                                "same-design simulation batch (compiled "
                                "backend only; records are bit-identical "
-                               "to --lanes 1). 'auto' reads "
-                               "REPRO_SIM_LANES, else 1")
+                               "to --lanes 1). 'auto' requires "
+                               "REPRO_SIM_LANES to hold the count; "
+                               "omitted, REPRO_SIM_LANES if set, else 1")
     campaign.add_argument("--records", default=None,
                           help="write per-unit records as JSONL here")
     campaign.add_argument("--coverage-db", default=None,

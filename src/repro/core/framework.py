@@ -31,6 +31,23 @@ from repro.uvm.test import run_uvm_test
 
 
 @dataclass
+class VerifyRequest:
+    """One UVM verification the repair pipeline is waiting on.
+
+    ``UVLLM.verify_and_repair_steps`` yields these instead of calling
+    :func:`repro.uvm.test.run_uvm_test` directly; the driver runs (or
+    lane-batches) the request and sends the ``TestResult`` back in.
+    The request is a pure ``(source, sequence)`` pair — protocol,
+    reference model and compare signals come from the bench the driver
+    already holds, so grouped and scalar execution consume identical
+    inputs.
+    """
+
+    source: str
+    sequence: object
+
+
+@dataclass
 class VerificationOutcome:
     """Result of one UVLLM run on one DUT instance."""
 
@@ -74,6 +91,42 @@ class UVLLM:
         pipeline re-verifies exactly as it would have without it, so
         outcomes are bit-identical either way; the caller must pass the
         matching ``sequence``.
+
+        This is the scalar driver over
+        :meth:`verify_and_repair_steps`: every verification the
+        pipeline requests runs immediately via ``run_uvm_test``.  The
+        lane-grouped campaign path drives the same generator and
+        batches coinciding sibling requests instead — outcomes are
+        bit-identical because the generator never observes *how* its
+        request was executed.
+        """
+        steps = self.verify_and_repair_steps(
+            source, bench, sequence=sequence,
+            initial_result=initial_result,
+        )
+        result = None
+        while True:
+            try:
+                request = steps.send(result)
+            except StopIteration as stop:
+                return stop.value
+            result = run_uvm_test(
+                request.source, request.sequence, bench.protocol,
+                bench.model(), bench.compare_signals, top=bench.top,
+            )
+
+    def verify_and_repair_steps(self, source, bench, sequence=None,
+                                initial_result=None):
+        """Generator form of the pipeline: yields a
+        :class:`VerifyRequest` for every UVM run it needs and receives
+        the matching ``TestResult`` via ``send``; returns the
+        :class:`VerificationOutcome` (as ``StopIteration.value``).
+
+        All pipeline state (LLM calls, timing, rollback register) is
+        internal to the generator, so interleaving several instances —
+        the repair-attempt lane grouping in
+        :func:`repro.experiments.runner.execute_unit_group` — cannot
+        change any one instance's outcome.
         """
         from repro.bench.registry import make_hr_sequence
 
@@ -104,8 +157,8 @@ class UVLLM:
             result = initial_result
             self._account(result, timing, stage="preprocess")
         else:
-            result = self._run_uvm(current, bench, sequence, timing,
-                                   stage="preprocess")
+            result = yield VerifyRequest(current, sequence)
+            self._account(result, timing, stage="preprocess")
         outcome.pass_rate_history.append(result.pass_rate if result.ok else 0.0)
         if result.all_passed:
             outcome.hit = True
@@ -138,8 +191,8 @@ class UVLLM:
             if lint.errors:
                 candidate, _ = preprocessor.run(candidate)
 
-            candidate_result = self._run_uvm(candidate, bench, sequence,
-                                             timing, stage=stage)
+            candidate_result = yield VerifyRequest(candidate, sequence)
+            self._account(candidate_result, timing, stage=stage)
             score = candidate_result.pass_rate if candidate_result.ok \
                 else -1.0
             outcome.pass_rate_history.append(max(score, 0.0))
@@ -181,14 +234,6 @@ class UVLLM:
                               calls_before, cost_before)
 
     # -- helpers -------------------------------------------------------------
-
-    def _run_uvm(self, source, bench, sequence, timing, stage):
-        result = run_uvm_test(
-            source, sequence, bench.protocol, bench.model(),
-            bench.compare_signals, top=bench.top,
-        )
-        self._account(result, timing, stage)
-        return result
 
     def _account(self, result, timing, stage):
         events = (

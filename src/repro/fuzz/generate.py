@@ -2,11 +2,12 @@
 
 Emits well-formed designs over the full supported grammar — nested
 always blocks, case/casez/casex statements, NBA/BA mixes, part
-selects, x-literals, FSMs, memories, hierarchy, gated-latch
-combinational cycles (which defeat the levelizer and exercise its
-event-driven fallback), and run-time part-select bounds (which the
-codegen cannot prove faithful, forcing per-process demotion to the
-interpreter).
+selects, x-literals, FSMs, signed inputs/registers, memories
+(multiple per design, with sync read ports, constant and
+out-of-range stores, $signed-cast writes), hierarchy, gated-latch
+combinational cycles (which defeat the levelizer and exercise its event-driven
+fallback), and run-time part-select bounds (which the codegen cannot
+prove faithful, forcing per-process demotion to the interpreter).
 
 Every design is a pure function of its seed.  Two structural rules
 keep generated designs *deterministically simulatable* so that any
@@ -43,7 +44,10 @@ from repro.hdl.printer import print_module
 
 #: Bump whenever generated output changes for a given seed; folded
 #: into fuzz-unit cache keys so stale verdicts never alias.
-GENERATOR_VERSION = 1
+#: v2: signed-heavy signals (inputs/regs), multi-memory designs with
+#: sync read ports, constant/out-of-range stores and signed-cast
+#: writes — the newly lane-packable paths.
+GENERATOR_VERSION = 2
 
 _BINARY_OPS = (
     "+", "-", "*", "/", "%", "&", "|", "^", "~^",
@@ -375,7 +379,7 @@ def generate_design(seed, profile=None):
     for _ in range(rng.randrange(2, 5)):
         name = b.fresh("in")
         width = rng.choice((1, 2, 4, 8, 8, 12, 16))
-        signed = rng.random() < 0.15
+        signed = rng.random() < 0.25
         b.declare_port(name, "input", width, signed=signed)
         b.readable[name] = width
         inputs.append((name, width))
@@ -387,10 +391,12 @@ def generate_design(seed, profile=None):
     for _ in range(rng.randrange(1, 4)):
         name = b.fresh("r")
         width = rng.choice((1, 2, 4, 8, 8, 16))
-        b.declare_net(name, width, kind="reg",
-                      signed=rng.random() < 0.1)
+        signed = rng.random() < 0.25
+        b.declare_net(name, width, kind="reg", signed=signed)
         seq_regs.append(name)
         b.readable[name] = width
+        if signed:
+            b.features.add("signed-reg")
 
     # -- optional FSM -------------------------------------------------------
     fsm = None
@@ -403,22 +409,29 @@ def generate_design(seed, profile=None):
         b.readable[name] = width
         fsm = (name, width, states)
 
-    # -- optional memory ----------------------------------------------------
-    memory = None
-    if has_clock and rng.random() < 0.4:
-        b.features.add("memory")
-        name = b.fresh("mem")
-        width = rng.choice((4, 8))
-        depth = rng.choice((4, 8))
-        b.items.append(ast.NetDecl(
-            names=[name], kind="reg", range=_range(width),
-            array=ast.Range(msb=_decimal(0), lsb=_decimal(depth - 1)),
-        ))
-        memory = (name, width, depth)
+    # -- optional memories --------------------------------------------------
+    memories = []
+    if has_clock:
+        count = 0
+        if rng.random() < 0.55:
+            count = 1
+            if rng.random() < 0.35:
+                count = 2
+        for _ in range(count):
+            b.features.add("memory")
+            name = b.fresh("mem")
+            width = rng.choice((4, 8, 16))
+            depth = rng.choice((4, 6, 8))
+            b.items.append(ast.NetDecl(
+                names=[name], kind="reg", range=_range(width),
+                array=ast.Range(msb=_decimal(0),
+                                lsb=_decimal(depth - 1)),
+            ))
+            memories.append((name, width, depth))
 
     # -- sequential processes ----------------------------------------------
     if has_clock:
-        _emit_seq(b, seq_regs, fsm, memory, has_reset)
+        _emit_seq(b, seq_regs, fsm, memories, has_reset)
     else:
         # No clock: turn the "seq" regs into comb-owned targets below.
         pass
@@ -428,8 +441,11 @@ def generate_design(seed, profile=None):
     for _ in range(rng.randrange(1, 3)):
         name = b.fresh("c")
         width = rng.choice((1, 2, 4, 8, 8, 16))
-        b.declare_net(name, width, kind="reg")
+        signed = rng.random() < 0.2
+        b.declare_net(name, width, kind="reg", signed=signed)
         comb_regs.append(name)
+        if signed:
+            b.features.add("signed-reg")
     if not has_clock:
         # The "seq" regs become comb-owned.  They must leave the read
         # pool for the whole comb emission: group A reading group B's
@@ -454,9 +470,8 @@ def generate_design(seed, profile=None):
         wires.append(name)
         b.readable[name] = width
 
-    # -- memory async read --------------------------------------------------
-    if memory is not None:
-        mem_name, mem_width, depth = memory
+    # -- memory async reads -------------------------------------------------
+    for mem_name, mem_width, depth in memories:
         name = b.fresh("rd")
         b.declare_net(name, mem_width, kind="wire")
         addr = b.expr(1)
@@ -549,7 +564,7 @@ def generate_design(seed, profile=None):
     )
 
 
-def _emit_seq(b, seq_regs, fsm, memory, has_reset):
+def _emit_seq(b, seq_regs, fsm, memories, has_reset):
     """Sequential always blocks: counters, NBA/BA mixes, FSM, memory."""
     rng = b.rng
     b.features.add("seq")
@@ -634,17 +649,52 @@ def _emit_seq(b, seq_regs, fsm, memory, has_reset):
             sensitivity=ast.EventControl(events=list(events)), body=body,
         ))
 
-    if memory is not None:
-        mem_name, mem_width, depth = memory
+    for mem_name, mem_width, depth in memories:
+        # One owning process per memory: every store (and the sync
+        # read register) lives here, so the single-driver rule holds.
         addr_width = max(1, (depth - 1).bit_length())
+        stmts = []
+        for _ in range(rng.randrange(1, 3)):
+            value = b.expr(1, want_width=mem_width)
+            if rng.random() < 0.3:
+                # A $signed cast makes the stored word carry the
+                # signed flag — per-word signedness is architectural
+                # state the lane planes must reproduce.
+                value = ast.FunctionCall(name="$signed", args=[value])
+                b.features.add("signed-memory-write")
+            if rng.random() < 0.3:
+                # Constant address, sometimes one past the end: a
+                # dropped out-of-range store still counts an event
+                # and wakes combinational readers.
+                address = rng.randrange(0, depth + 1)
+                index = _number(address, addr_width + 1)
+                if address >= depth:
+                    b.features.add("memory-oob-store")
+                else:
+                    b.features.add("memory-const-store")
+            else:
+                index = b.expr(1, want_width=addr_width)
+            stmts.append(ast.Assign(
+                target=ast.Index(base=_ident(mem_name), index=index),
+                value=value,
+                blocking=False,
+            ))
+        if rng.random() < 0.6:
+            # Synchronous read port: NBA from a (possibly runtime)
+            # address into a dedicated register.
+            read_reg = b.fresh("mr")
+            b.declare_net(read_reg, mem_width, kind="reg")
+            stmts.append(ast.Assign(
+                target=_ident(read_reg),
+                value=ast.Index(base=_ident(mem_name),
+                                index=b.expr(1, want_width=addr_width)),
+                blocking=False,
+            ))
+            b.readable[read_reg] = mem_width
+            b.features.add("memory-sync-read")
         b.items.append(ast.Always(
             sensitivity=ast.EventControl(events=list(events)),
-            body=ast.Block(statements=[ast.Assign(
-                target=ast.Index(base=_ident(mem_name),
-                                 index=b.expr(1, want_width=addr_width)),
-                value=b.expr(1, want_width=mem_width),
-                blocking=False,
-            )]),
+            body=ast.Block(statements=stmts),
         ))
         b.features.add("memory-write")
 

@@ -114,9 +114,16 @@ def _execute_group_with_stats(units, lanes):
             _global_metrics.inc("lanes.packed_batches")
         else:
             _global_metrics.inc("lanes.demoted_batches")
-            _global_metrics.inc(
-                "lanes.demotion." + classify_demotion(info.get("demotion"))
-            )
+            # Count every distinct underlying reason, not just the
+            # summary string: a design demoted for several causes at
+            # once lands in each matching category, so the finish
+            # summary and the report histogram tell the same story.
+            reasons = (info.get("demotion_reasons") or
+                       (info.get("demotion"),))
+            for category in sorted(
+                {classify_demotion(reason) for reason in reasons}
+            ):
+                _global_metrics.inc("lanes.demotion." + category)
     sink.flush_spans()
     # A failing unit inside a packed lane batch is demoted to a scalar
     # traced re-run by the capture pipeline itself (the bundle's
@@ -449,11 +456,15 @@ def default_jobs():
     return min(8, os.cpu_count() or 1)
 
 
-def default_lanes():
-    """The ``--lanes auto`` value: the ``REPRO_SIM_LANES`` environment
-    override, else 1 — lane packing stays opt-in because it only pays
-    off on compiled-backend campaigns with repeated designs."""
-    try:
-        return max(1, int(os.environ.get("REPRO_SIM_LANES", "1")))
-    except ValueError:
-        return 1
+def default_lanes(require=False):
+    """The ``--lanes auto`` / flag-omitted lane count.
+
+    Lane packing stays opt-in (it only pays off on compiled-backend
+    campaigns with repeated designs), so with the flag omitted an
+    unset ``REPRO_SIM_LANES`` means 1; explicit ``--lanes auto``
+    passes ``require=True`` and a missing or malformed variable
+    raises :class:`ValueError` instead of silently serializing the
+    campaign."""
+    from repro.sim.compile.lanes import default_lanes as _env_lanes
+
+    return _env_lanes(require=require)

@@ -44,7 +44,7 @@ from repro.sim.elaborate import design_fingerprint
 #: Bump whenever the generated kernel source changes shape or
 #: semantics: the key folds it in, so old memo entries and on-disk
 #: sources become unreachable instead of being rebound incorrectly.
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 #: key -> (bind callable, source text); per worker process.  Bounded
 #: FIFO: campaigns cycle through a few hundred distinct designs at
@@ -221,7 +221,7 @@ def get_kernel(design, order, trace=True, coverage=None):
 
 #: Bump whenever the lane packer's lowering changes semantics; folded
 #: into the memo key so stale programs can never be rebound.
-LANE_CODEGEN_VERSION = 2
+LANE_CODEGEN_VERSION = 4
 
 #: key -> _LaneProgram | NotPackable reason string.  Lane programs are
 #: closure graphs, so (unlike scalar kernels) they cannot persist to

@@ -217,14 +217,49 @@ class _KernelProc(ProcessCompiler):
     def _emit_local_store(self, entry, var):
         local = self._defer_local(entry)
         signed = bool(entry.signed)
-        if self._rhs_signed is not None and \
-                bool(self._rhs_signed) == signed:
+        if signed:
+            # Mirror ``_write_signal`` exactly: a no-change
+            # (bits, xmask) store keeps the old value object — and
+            # its dynamic signedness (unsigned until the first
+            # changed write) — while a changed store adopts the
+            # declared signed flag.  Later reads in the same comb
+            # wave observe whichever survived.
+            if self._rhs_signed is True:
+                new = var
+            else:
+                new = (f"({var} if {var}.signed else "
+                       f"Value({var}.bits, {entry.width}, "
+                       f"{var}.xmask, True))")
+            self.emit(
+                f"{local} = {local} if ({local}.bits == {var}.bits "
+                f"and {local}.xmask == {var}.xmask) else {new}"
+            )
+        elif self._rhs_signed is False:
             self.emit(f"{local} = {var}")
         else:
             self.emit(
-                f"{local} = {var} if {var}.signed == {signed} else "
-                f"Value({var}.bits, {entry.width}, {var}.xmask, {signed})"
+                f"{local} = {var} if not {var}.signed else "
+                f"Value({var}.bits, {entry.width}, {var}.xmask)"
             )
+
+    def _emit_local_rmw(self, entry, local, rmw_expr):
+        """Structural (bit/part-select) store to a hoisted local.
+
+        ``replace_bits`` keeps the *old* value's signed flag, but the
+        engine routes these through ``_write_signal``, which adopts
+        the declared flag on a changed write and keeps the old object
+        on a no-change one — so a declared-signed target needs the
+        same change check here."""
+        if not entry.signed:
+            self.emit(f"{local} = {rmw_expr}")
+            return
+        new = self.tmp()
+        self.emit(f"{new} = {rmw_expr}")
+        self.emit(
+            f"{local} = {local} if ({local}.bits == {new}.bits and "
+            f"{local}.xmask == {new}.xmask) else "
+            f"Value({new}.bits, {entry.width}, {new}.xmask, True)"
+        )
 
     def _after_engine_write(self, entry):
         """Refresh the hoisted local after a generic engine write."""
@@ -310,7 +345,9 @@ class _KernelProc(ProcessCompiler):
                 local = self._defer_local(entry)
                 self.emit(f"if {ivar} is not None:")
                 self.indent += 1
-                self.emit(f"{local} = {local}.replace_bits({ivar}, {var})")
+                self._emit_local_rmw(
+                    entry, local, f"{local}.replace_bits({ivar}, {var})"
+                )
                 self.indent -= 1
                 return
             self.uses.add("_SB")
@@ -364,14 +401,18 @@ class _KernelProc(ProcessCompiler):
                 # var is already resized to the slice width by
                 # _compile_assign, so _store_slice's resize is the
                 # identity and min() folds statically.
-                self.emit(f"{local} = {local}.replace_bits("
-                          f"{min(msb, lsb)}, {var})")
+                self._emit_local_rmw(
+                    entry, local,
+                    f"{local}.replace_bits({min(msb, lsb)}, {var})",
+                )
                 return
             # Runtime +:/-: offset: hi is None iff lo is None, and
             # min(hi, lo) is always the computed lo bound.
             self.emit(f"if {lo} is not None:")
             self.indent += 1
-            self.emit(f"{local} = {local}.replace_bits({lo}, {var})")
+            self._emit_local_rmw(
+                entry, local, f"{local}.replace_bits({lo}, {var})"
+            )
             self.indent -= 1
             return
         self.uses.add("_SS")

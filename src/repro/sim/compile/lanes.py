@@ -37,6 +37,7 @@ from repro.sim.engine import (
     Simulator,
     _Executor,
 )
+from repro.sim.eval import Memory
 from repro.sim.values import Value
 
 
@@ -56,6 +57,10 @@ class _StrideRetry(Exception):
 
 
 _NONPACKABLE_FUNCTIONS = frozenset(["$time", "$stime", "$random"])
+
+#: Unrolled-for iteration ceiling: past this the closure soup costs
+#: more than per-lane scalar fallback, so the process demotes instead.
+_MAX_UNROLL = 64
 
 
 def _uses_nonpackable_functions(process):
@@ -119,6 +124,29 @@ class _SigMeta:
         self.edges = ()        # tuple of (edge, seq process index)
 
 
+class _MemMeta:
+    """Per-memory compile-time facts shared by every closure.
+
+    A memory packs as per-word planes: word ``w`` of memory ``idx``
+    lives in ``sim.MB[idx][w]``/``sim.MX[idx][w]`` with the same lane
+    stride as signals, plus a per-word lane mask ``sim.MSg[idx][w]``
+    recording which lanes' stored word is dynamically signed (words
+    keep the signedness last written, exactly like the engines)."""
+
+    __slots__ = ("idx", "name", "width", "lo", "hi", "depth", "fm",
+                 "comb_dirty")
+
+    def __init__(self, idx, name, width, lo, hi):
+        self.idx = idx
+        self.name = name
+        self.width = width
+        self.lo = lo
+        self.hi = hi
+        self.depth = hi - lo + 1
+        self.fm = (1 << width) - 1
+        self.comb_dirty = ()   # sorted tuple of comb order positions
+
+
 def _env_get(sim, env, idx):
     entry = env.get(idx)
     if entry is None:
@@ -142,6 +170,9 @@ class _ProcCompiler:
         self.layout = program.layout
         self.process = process
         self.scope = process.scope
+        #: name -> committed bits of a for-loop variable while its
+        #: unrolled body compiles; reads fold to constants.
+        self._loop_bind = {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -166,13 +197,17 @@ class _ProcCompiler:
         return entry
 
     def _const_int(self, expr):
-        """Compile-time integer, restricted to literals and parameters
-        (unlike ``Evaluator.const_int``, never reads live signals)."""
+        """Compile-time integer, restricted to literals, parameters,
+        and bound for-loop variables (unlike ``Evaluator.const_int``,
+        never reads live signals)."""
         if isinstance(expr, ast.Number):
             if expr.xmask:
                 self.fail("x bits in a structural constant")
             return expr.value
         if isinstance(expr, ast.Identifier):
+            bound = self._loop_bind.get(expr.name)
+            if bound is not None:
+                return bound
             entry = self._signal(expr.name)
             if isinstance(entry, Value):
                 if entry.xmask:
@@ -180,7 +215,280 @@ class _ProcCompiler:
                 return entry.bits
         if isinstance(expr, ast.Unary) and expr.op == "-":
             return -self._const_int(expr.operand)
+        if isinstance(expr, ast.Binary) and expr.op in ("+", "-", "*"):
+            # Index arithmetic (``15 - i`` and friends).  The engines
+            # evaluate these as a Value at the expression's full
+            # self-determined width, so fold unwrapped and reduce once
+            # at the top — exact as long as one operand is statically
+            # unsigned (the result Value is then unsigned, and its
+            # bits ARE its interpretation); an all-signed fold could
+            # read negative where the raw bits would not, so demote.
+            if not (self._const_unsigned(expr.left)
+                    or self._const_unsigned(expr.right)):
+                self.fail("signed structural arithmetic")
+            left = self._const_fold_raw(expr.left)
+            right = self._const_fold_raw(expr.right)
+            out = (left + right if expr.op == "+" else
+                   left - right if expr.op == "-" else left * right)
+            W = max(self.self_width(expr.left),
+                    self.self_width(expr.right))
+            return out & ((1 << W) - 1)
         self.fail("non-constant structural operand")
+
+    def _const_fold_raw(self, expr):
+        """``_const_int`` without the top-level width reduction —
+        nested arithmetic must wrap once, at the outermost width."""
+        if isinstance(expr, ast.Binary) and expr.op in ("+", "-", "*"):
+            if not (self._const_unsigned(expr.left)
+                    or self._const_unsigned(expr.right)):
+                self.fail("signed structural arithmetic")
+            left = self._const_fold_raw(expr.left)
+            right = self._const_fold_raw(expr.right)
+            return (left + right if expr.op == "+" else
+                    left - right if expr.op == "-" else left * right)
+        return self._const_int(expr)
+
+    def _const_unsigned(self, expr):
+        """Statically *unsigned* constant operand (mirrors the flag of
+        the Value the evaluator would build for it)."""
+        if isinstance(expr, ast.Number):
+            return not expr.signed
+        if isinstance(expr, ast.Identifier):
+            entry = self.scope.lookup(expr.name)
+            return not getattr(entry, "signed", False)
+        if isinstance(expr, ast.Unary):
+            return True        # ~, -, ! and reductions build unsigned
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("+", "-", "*", "/", "%"):
+                return (self._const_unsigned(expr.left)
+                        or self._const_unsigned(expr.right))
+            return True        # compares, shifts, bitwise: unsigned
+        return False
+
+    # -- dynamic signedness --------------------------------------------------
+
+    def _signed_lanes(self, expr):
+        """Per-lane dynamic signedness of ``expr``'s run-time value.
+
+        Returns an int lane-base mask when statically known, else a
+        closure ``fn(sim, env) -> mask``.  Mirrors the ``signed`` flag
+        the interpreter's ``Value`` results carry: a declared-signed
+        signal reads *unsigned* until its first changed write (the
+        engines store an unsigned ``Value.all_x`` at init), memory
+        words keep the signedness last written, and the ternary
+        x-merge constructs an unsigned result even over two signed
+        branches — all per-lane run-time facts, hence the closures.
+        """
+        L1 = self.layout.L1
+        if isinstance(expr, ast.Number):
+            return L1 if expr.signed else 0
+        if isinstance(expr, ast.Identifier):
+            entry = self._signal(expr.name)
+            if isinstance(entry, Value):
+                return L1 if entry.signed else 0
+            if isinstance(entry, Memory) or not getattr(
+                    entry, "signed", False):
+                return 0
+            if expr.name in self._loop_bind:
+                # Unrolled loop variable: the init write always left it
+                # changed-written (all-x at construction never equals
+                # the definite init constant), so a declared-signed
+                # variable reads signed in every lane.
+                return L1
+            meta = self.program.meta_by_name.get(entry.name)
+            if meta is None:
+                return 0
+
+            def written(sim, env, _idx=meta.idx):
+                return sim._signed_written[_idx]
+            return written
+        if isinstance(expr, ast.Unary):
+            if expr.op == "+":
+                return self._signed_lanes(expr.operand)
+            return 0       # ~, -, !, reductions build unsigned Values
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("+", "-", "*", "/", "%"):
+                both = self._sm_and(self._signed_lanes(expr.left),
+                                    self._signed_lanes(expr.right))
+                if both == 0:
+                    return 0
+                # ``Value._pessimistic`` constructs an *unsigned*
+                # all-x on any x operand — and div/mod do the same on
+                # a zero divisor — so those lanes drop out of the
+                # mask even when both operands are signed.
+                return self._sm_and(both, self._arith_definite(expr))
+            if expr.op == ">>>":
+                # shr propagates the left operand's signedness — but
+                # an x shift amount yields an unsigned all-x (an x in
+                # the shifted value itself keeps the flag).
+                left = self._signed_lanes(expr.left)
+                if left == 0:
+                    return 0
+                return self._sm_and(left,
+                                    self._defined_lanes(expr.right))
+            return 0       # bitwise, logical, compares, shl, power
+        if isinstance(expr, ast.Ternary):
+            tm = self._signed_lanes(expr.then)
+            em = self._signed_lanes(expr.otherwise)
+            if tm == 0 and em == 0:
+                return 0
+            cfn, cW, _ = self.compile_expr(expr.cond, 0)
+            truth = self._truth(cfn, cW)
+
+            def pick(sim, env, _truth=truth, _tm=tm, _em=em):
+                t, f, u = _truth(sim, env)
+                a = _tm(sim, env) if callable(_tm) else _tm
+                b = _em(sim, env) if callable(_em) else _em
+                return (t & a) | (f & b)   # x-cond merge is unsigned
+            return pick
+        if isinstance(expr, ast.FunctionCall):
+            return L1 if expr.name == "$signed" else 0
+        if isinstance(expr, ast.Repeat):
+            # ``{1{v}}`` degenerates to ``v`` in the engines (the
+            # single unit IS the result Value, signed flag and all);
+            # a count >= 2 replication concatenates, which constructs
+            # an unsigned Value.
+            try:
+                count = self._const_int(expr.count)
+            except NotPackable:
+                return 0
+            return self._signed_lanes(expr.value) if count == 1 else 0
+        if isinstance(expr, ast.Concat):
+            # Same degenerate case: a one-part concat is a resize of
+            # the part, which keeps its signed flag.
+            if len(expr.parts) == 1:
+                return self._signed_lanes(expr.parts[0])
+            return 0
+        if isinstance(expr, ast.Index) and \
+                isinstance(expr.base, ast.Identifier):
+            entry = self.scope.lookup(expr.base.name)
+            if isinstance(entry, Memory):
+                return self._mem_signed_lanes(expr, entry)
+        return 0
+
+    def _sm_and(self, a, b):
+        """AND of two signedness lane masks (ints or closures)."""
+        if a == 0 or b == 0:
+            return 0
+        if not callable(a) and not callable(b):
+            return a & b
+
+        def both(sim, env, _a=a, _b=b):
+            ma = _a(sim, env) if callable(_a) else _a
+            mb = _b(sim, env) if callable(_b) else _b
+            return ma & mb
+        return both
+
+    def _defined_lanes(self, expr):
+        """Lane mask of ``expr``'s x-free lanes (int or closure)."""
+        lay = self.layout
+        L1 = lay.L1
+        W = self.self_width(expr)
+        fn, _, const = self.compile_expr(expr, 0)
+        lay.need(W + 1)
+        FM = lay.Mr(W)
+        if const is not None:
+            _, cx = const
+            return L1 ^ (((cx + FM) >> W) & L1)
+
+        def defined(sim, env, _fn=fn, _FM=FM, _W=W, _L1=L1):
+            _b, x = _fn(sim, env)
+            return _L1 ^ (((x + _FM) >> _W) & _L1)
+        return defined
+
+    def _arith_definite(self, expr):
+        """Lanes where an arithmetic binary actually computes — no x
+        in either operand and (for div/mod) a nonzero divisor; the
+        engines construct an *unsigned* all-x everywhere else."""
+        lay = self.layout
+        L1 = lay.L1
+        lW = self.self_width(expr.left)
+        rW = self.self_width(expr.right)
+        lfn, _, _ = self.compile_expr(expr.left, 0)
+        rfn, _, _ = self.compile_expr(expr.right, 0)
+        lay.need(max(lW, rW) + 1)
+        LFM = lay.Mr(lW)
+        RFM = lay.Mr(rW)
+        zdiv = expr.op in ("/", "%")
+
+        def definite(sim, env, _l=lfn, _r=rfn, _LFM=LFM, _RFM=RFM,
+                     _lW=lW, _rW=rW, _L1=L1, _zdiv=zdiv):
+            lb, lx = _l(sim, env)
+            rb, rx = _r(sim, env)
+            xl = (((lx + _LFM) >> _lW) | ((rx + _RFM) >> _rW)) & _L1
+            mask = _L1 ^ xl
+            if _zdiv:
+                mask &= ((rb + _RFM) >> _rW) & _L1
+            return mask
+        return definite
+
+    def _mem_signed_lanes(self, expr, memory):
+        """Signedness lanes of a memory-word read: per-word from the
+        ``MSg`` planes; an x or out-of-range address reads an unsigned
+        all-x word, so those lanes drop out of the mask."""
+        mm = self.program.mem_by_name[memory.name]
+        mi = mm.idx
+        try:
+            addr = self._const_int(expr.index)
+        except NotPackable:
+            addr = None
+        if addr is not None:
+            if addr < mm.lo or addr > mm.hi:
+                return 0
+            w = addr - mm.lo
+
+            def word_mask(sim, env, _mi=mi, _w=w):
+                return sim.MSg[_mi][_w]
+            return word_mask
+        ifn, iW, _ = self.compile_expr(expr.index, 0)
+        self.layout.need(iW)
+        ifm = (1 << iW) - 1
+
+        def gather(sim, env, _i=ifn, _ifm=ifm, _mi=mi, _lo=mm.lo,
+                   _hi=mm.hi, _S=self.layout.S, _n=self.layout.lanes):
+            ib, ix = _i(sim, env)
+            sg = sim.MSg[_mi]
+            out = 0
+            for lane in range(_n):
+                shift = lane * _S
+                if (ix >> shift) & _ifm:
+                    continue
+                a = (ib >> shift) & _ifm
+                if a < _lo or a > _hi:
+                    continue
+                out |= sg[a - _lo] & (1 << shift)
+            return out
+        return gather
+
+    def _extend(self, fn, W, width, smask):
+        """Per-lane sign/x extension of a ``W``-bit packed value to
+        ``width`` bits for the lanes in ``smask`` (int or closure)
+        whose value is dynamically signed — the packed mirror of
+        ``Value.resize``'s extension rule.  An x at the sign position
+        x-extends (the plane invariant keeps the bits bit clear there,
+        so the two fills are naturally exclusive); unsigned lanes
+        zero-extend for free because the planes are zero above ``W``."""
+        lay = self.layout
+        lay.need(width)
+        L1 = lay.L1
+        F1 = (1 << width) - (1 << W)
+        s = W - 1
+        if callable(smask):
+            def extend_rt(sim, env, _fn=fn, _sm=smask, _s=s, _L1=L1,
+                          _F1=F1):
+                b, x = _fn(sim, env)
+                sw = _sm(sim, env)
+                if not sw:
+                    return b, x
+                return (b | (((b >> _s) & _L1 & sw) * _F1),
+                        x | (((x >> _s) & _L1 & sw) * _F1))
+            return extend_rt
+
+        def extend(sim, env, _fn=fn, _sm=smask, _s=s, _L1=L1, _F1=F1):
+            b, x = _fn(sim, env)
+            return (b | (((b >> _s) & _L1 & _sm) * _F1),
+                    x | (((x >> _s) & _L1 & _sm) * _F1))
+        return extend
 
     # -- self widths (mirrors Evaluator.self_width) --------------------------
 
@@ -210,6 +518,10 @@ class _ProcCompiler:
         if isinstance(expr, ast.Repeat):
             return self._const_int(expr.count) * self.self_width(expr.value)
         if isinstance(expr, ast.Index):
+            if isinstance(expr.base, ast.Identifier):
+                entry = self._signal(expr.base.name)
+                if isinstance(entry, Memory):
+                    return entry.width
             return 1
         if isinstance(expr, ast.PartSelect):
             if expr.mode == ":":
@@ -243,22 +555,34 @@ class _ProcCompiler:
         return (lambda sim, env, _pair=pair: _pair), width, pair
 
     def _c_Number(self, expr, ctx):
-        if expr.signed:
-            self.fail("signed literal")
+        # Widening a literal does NOT sign-extend (the interpreter
+        # builds ``Value(value, max(width, ctx))`` as-is); the signed
+        # flag only reaches enclosing compares/div/shr via
+        # ``_signed_lanes``.
         width = max(expr.width or 32, ctx)
         return self._const_node(expr.value, expr.xmask, width)
 
     def _c_Identifier(self, expr, ctx):
+        bound = self._loop_bind.get(expr.name)
+        if bound is not None:
+            # Unrolled for-loop variable: its committed value this
+            # iteration is a compile-time constant (kept non-negative
+            # by the unroller, so widening needs no sign-extension
+            # even for a signed variable).
+            entry = self._signal(expr.name)
+            return self._const_node(bound, 0, max(entry.width, ctx))
         entry = self._signal(expr.name)
         if isinstance(entry, Value):            # parameter
-            if entry.signed:
-                self.fail("signed parameter")
             width = max(entry.width, ctx)
+            if width != entry.width:
+                # Parameters carry a definite signedness, so the
+                # context extension folds statically.
+                entry = entry.resize(width)
             return self._const_node(entry.bits, entry.xmask, width)
+        if isinstance(entry, Memory):
+            self.fail(f"'{expr.name}' is a memory, not a value")
         if not hasattr(entry, "comb_listeners"):
             self.fail(f"'{expr.name}' is not a packable signal")
-        if entry.signed:
-            self.fail("signed signal read")
         meta = self.program.meta_by_name[entry.name]
         width = max(meta.width, ctx)
         self.layout.need(width)
@@ -270,6 +594,15 @@ class _ProcCompiler:
                 entry = env[_idx] = (sim.B[_idx], sim.X[_idx])
             return entry
 
+        if entry.signed and width > meta.width:
+            # Widening read of a signed signal: per-lane extension,
+            # gated on the lanes that have actually written it (a read
+            # before the first write zero-extends — the stored init
+            # value is an *unsigned* all-x).
+            def swritten(sim, env, _idx=idx):
+                return sim._signed_written[_idx]
+            return (self._extend(read, meta.width, width, swritten),
+                    width, None)
         return read, width, None
 
     # -- unary ---------------------------------------------------------------
@@ -442,6 +775,44 @@ class _ProcCompiler:
             lay.need(W + 1)
             FM = lay.Mr(W)
             H = L1 << W
+            # Relational compares go signed on the lanes where BOTH
+            # operand values are dynamically signed (``Value._compare``
+            # interprets via ``as_arith``; mixed compares sign-extend
+            # the signed side at the read site, then compare unsigned).
+            # Equality is interpretation-independent.
+            both = 0
+            if op not in ("==", "!="):
+                both = self._sm_and(self._signed_lanes(expr.left),
+                                    self._signed_lanes(expr.right))
+            if callable(both) or both:
+                sgn = 1 << (W - 1)
+
+                def compare_signed(sim, env, _l=lfn, _r=rfn, _FM=FM,
+                                   _W=W, _L1=L1, _H=H, _op=op,
+                                   _sm=both, _sgn=sgn):
+                    ab, ax = _l(sim, env)
+                    bb, bx = _r(sim, env)
+                    xl = (((ax | bx) + _FM) >> _W) & _L1
+                    ne = (((ab ^ bb) + _FM) >> _W) & _L1
+                    sw = _sm(sim, env) if callable(_sm) else _sm
+                    if sw:
+                        # Flipping both sign bits maps signed order
+                        # onto unsigned order, so the borrow trick
+                        # below stays per-lane exact.
+                        flip = sw * _sgn
+                        ab ^= flip
+                        bb ^= flip
+                    ge = (((ab | _H) - bb) >> _W) & _L1
+                    if _op == ">=":
+                        res = ge
+                    elif _op == "<":
+                        res = _L1 ^ ge
+                    elif _op == ">":
+                        res = ge & ne
+                    else:  # "<="
+                        res = (_L1 ^ ge) | (_L1 ^ ne)
+                    return res & ~xl, xl
+                return compare_signed, 1, None
 
             def compare(sim, env, _l=lfn, _r=rfn, _FM=FM, _W=W,
                         _L1=L1, _H=H, _op=op):
@@ -516,6 +887,29 @@ class _ProcCompiler:
             W = max(self.self_width(expr.left), ctx)
             lfn, _, _ = self.compile_expr(expr.left, W)
             lay.need(W)
+            smask = self._signed_lanes(expr.left) if op == ">>>" else 0
+            if (callable(smask) or smask) and op == ">>>":
+                # Arithmetic shift of a (possibly) signed value: 1-fill
+                # from the sign bit on the lanes where the value is
+                # dynamically signed AND the sign bit is a known 1.
+                # The xmask shifts logically regardless (``Value.shr``
+                # never x-fills), and the amount clamps to the width —
+                # so ``>>> W`` of a negative value is all ones, not 0.
+                n = min(amount, W)
+                KM = lay.Mr(W - n) if n < W else 0
+                FILL = ((1 << W) - 1) ^ ((1 << (W - n)) - 1)
+                sgn = W - 1
+
+                def sra(sim, env, _l=lfn, _n=n, _KM=KM, _sm=smask,
+                        _s=sgn, _L1=L1, _FILL=FILL):
+                    b, x = _l(sim, env)
+                    sw = _sm(sim, env) if callable(_sm) else _sm
+                    neg = ((b >> _s) & _L1) & sw
+                    rb = ((b >> _n) & _KM) if _KM else 0
+                    if neg:
+                        rb |= neg * _FILL
+                    return rb, ((x >> _n) & _KM) if _KM else 0
+                return sra, W, None
             if amount >= W:
                 return self._const_node(0, 0, W)
             if op in ("<<", "<<<"):
@@ -550,11 +944,23 @@ class _ProcCompiler:
             else:
                 def lane_op(a, b):
                     return a % b if b else None
+            # Multiplication is modular (interpretation-independent);
+            # div/mod truncate toward zero on the lanes where BOTH
+            # operands are dynamically signed (``Value.div``/``mod``).
+            both = 0
+            if op != "*":
+                both = self._sm_and(self._signed_lanes(expr.left),
+                                    self._signed_lanes(expr.right))
+            sgn = 1 << (W - 1)
+            mod = 1 << W
 
             def arith_lanes(sim, env, _l=lfn, _r=rfn, _fm1=fm1,
-                            _S=lay.S, _n=lay.lanes, _op=lane_op):
+                            _S=lay.S, _n=lay.lanes, _op=lane_op,
+                            _sm=both, _sgn=sgn, _mod=mod,
+                            _div=(op == "/")):
                 ab, ax = _l(sim, env)
                 bb, bx = _r(sim, env)
+                sw = _sm(sim, env) if callable(_sm) else _sm
                 rb = 0
                 rx = 0
                 for lane in range(_n):
@@ -562,8 +968,27 @@ class _ProcCompiler:
                     if ((ax >> shift) & _fm1) | ((bx >> shift) & _fm1):
                         rx |= _fm1 << shift
                         continue
-                    value = _op((ab >> shift) & _fm1,
-                                (bb >> shift) & _fm1)
+                    a = (ab >> shift) & _fm1
+                    b = (bb >> shift) & _fm1
+                    if (sw >> shift) & 1:
+                        if b == 0:         # raw-bits zero check first
+                            rx |= _fm1 << shift
+                            continue
+                        if a & _sgn:
+                            a -= _mod
+                        if b & _sgn:
+                            b -= _mod
+                        if _div:
+                            value = abs(a) // abs(b)
+                            if (a < 0) != (b < 0):
+                                value = -value
+                        else:
+                            value = abs(a) % abs(b)
+                            if a < 0:
+                                value = -value
+                        rb |= (value & _fm1) << shift
+                        continue
+                    value = _op(a, b)
                     if value is None:     # division by zero
                         rx |= _fm1 << shift
                     else:
@@ -604,8 +1029,10 @@ class _ProcCompiler:
     def _c_shift_lanes(self, expr, ctx):
         """Shift by a run-time amount: extract, shift, and repack per
         lane, mirroring ``Value.shl``/``shr`` exactly (x amount → all
-        x; amount ≥ width → a *definite* zero, x operand bits
-        included)."""
+        x; ``<<`` by ≥ width → a *definite* zero, x operand bits
+        included; ``>>`` clamps the amount to the width and ``>>>``
+        additionally 1-fills from a known-1 sign bit on dynamically
+        signed lanes — the xmask always shifts logically)."""
         lay = self.layout
         W = max(self.self_width(expr.left), ctx)
         lfn, _, _ = self.compile_expr(expr.left, W)
@@ -614,11 +1041,14 @@ class _ProcCompiler:
         fm1 = (1 << W) - 1
         afm = (1 << aW) - 1
         left_shift = expr.op in ("<<", "<<<")
+        smask = self._signed_lanes(expr.left) if expr.op == ">>>" else 0
 
         def shift_lanes(sim, env, _l=lfn, _r=rfn, _fm1=fm1, _afm=afm,
-                        _W=W, _S=lay.S, _n=lay.lanes, _left=left_shift):
+                        _W=W, _S=lay.S, _n=lay.lanes, _left=left_shift,
+                        _sm=smask):
             ab, ax = _l(sim, env)
             bb, bx = _r(sim, env)
+            sw = _sm(sim, env) if callable(_sm) else _sm
             rb = 0
             rx = 0
             for lane in range(_n):
@@ -627,14 +1057,20 @@ class _ProcCompiler:
                     rx |= _fm1 << shift
                     continue
                 n = (bb >> shift) & _afm
-                if n >= _W:
-                    continue            # everything shifted out: 0
                 if _left:
+                    if n >= _W:
+                        continue        # everything shifted out: 0
                     rb |= (((ab >> shift) & _fm1) << n & _fm1) << shift
                     rx |= (((ax >> shift) & _fm1) << n & _fm1) << shift
-                else:
-                    rb |= (((ab >> shift) & _fm1) >> n) << shift
-                    rx |= (((ax >> shift) & _fm1) >> n) << shift
+                    continue
+                if n > _W:
+                    n = _W              # shr clamps: min(amount, width)
+                vb = ((ab >> shift) & _fm1) >> n
+                vx = ((ax >> shift) & _fm1) >> n
+                if (sw >> shift) & 1 and (ab >> (shift + _W - 1)) & 1:
+                    vb |= (_fm1 >> n) ^ _fm1    # arithmetic 1-fill
+                rb |= vb << shift
+                rx |= vx << shift
             return rb, rx
         return shift_lanes, W, None
 
@@ -692,7 +1128,16 @@ class _ProcCompiler:
                 bits |= (pb & pm) << off
                 xm |= (px & pm) << off
             return bits, xm
-        return concat, max(total, 1, ctx), None
+        width = max(total, 1, ctx)
+        if len(expr.parts) == 1 and ctx > total:
+            # One-part concat degenerates to a resize of the part in
+            # the engines, so a wider context sign-extends on the
+            # lanes where the part's value is dynamically signed.
+            smask = self._signed_lanes(expr.parts[0])
+            if smask:
+                return (self._extend(concat, total, width, smask),
+                        width, None)
+        return concat, width, None
 
     def _c_Repeat(self, expr, ctx):
         lay = self.layout
@@ -713,17 +1158,27 @@ class _ProcCompiler:
         def repeat(sim, env, _fn=fn, _UM=UM, _factor=factor):
             b, x = _fn(sim, env)
             return (b & _UM) * _factor, (x & _UM) * _factor
-        return repeat, max(total, ctx), None
+        width = max(total, ctx)
+        if count == 1 and ctx > total:
+            # ``{1{v}}`` degenerates to ``v`` in the engines: the
+            # single unit IS the result Value, so a wider context
+            # sign-extends on the lanes where ``v`` is dynamically
+            # signed (count >= 2 concatenates, which is unsigned).
+            smask = self._signed_lanes(expr.value)
+            if smask:
+                return (self._extend(repeat, total, width, smask),
+                        width, None)
+        return repeat, width, None
 
     def _c_Index(self, expr, ctx):
         lay = self.layout
         if not isinstance(expr.base, ast.Identifier):
             self.fail("computed bit-select base")
         entry = self._signal(expr.base.name)
+        if isinstance(entry, Memory):
+            return self._c_mem_read(expr, entry, ctx)
         if isinstance(entry, Value) or not hasattr(entry, "comb_listeners"):
             self.fail("bit-select of a non-signal")
-        if entry.signed:
-            self.fail("signed signal read")
         try:
             n = self._const_int(expr.index)
         except NotPackable:
@@ -775,15 +1230,82 @@ class _ProcCompiler:
             return rb, rx
         return index_lanes, max(1, ctx), None
 
+    def _c_mem_read(self, expr, memory, ctx):
+        """Packed asynchronous memory-word read.
+
+        Mirrors the interpreter exactly: an x or out-of-range address
+        reads an all-x word (*unsigned*, so a wider context
+        zero-extends it — the x bits stay in the word's own field);
+        an in-range word widens per its own dynamic signedness (words
+        keep the signedness last written)."""
+        lay = self.layout
+        mm = self.program.mem_by_name[memory.name]
+        width = max(mm.width, ctx)
+        lay.need(width)
+        mi = mm.idx
+        wfm = mm.fm
+        try:
+            addr = self._const_int(expr.index)
+        except NotPackable:
+            addr = None
+        if addr is not None:
+            if addr < mm.lo or addr > mm.hi:
+                return self._const_node(0, wfm, width)
+            w = addr - mm.lo
+
+            def read_word(sim, env, _mi=mi, _w=w):
+                return sim.MB[_mi][_w], sim.MX[_mi][_w]
+            if width > mm.width:
+                def word_signed(sim, env, _mi=mi, _w=w):
+                    return sim.MSg[_mi][_w]
+                return (self._extend(read_word, mm.width, width,
+                                     word_signed), width, None)
+            return read_word, width, None
+        ifn, iW, _ = self.compile_expr(expr.index, 0)
+        lay.need(iW)
+        ifm = (1 << iW) - 1
+        F1 = ((1 << width) - (1 << mm.width)) if width > mm.width else 0
+        sgn = mm.width - 1
+
+        def read_lanes(sim, env, _i=ifn, _ifm=ifm, _mi=mi, _lo=mm.lo,
+                       _hi=mm.hi, _wfm=wfm, _F1=F1, _sgn=sgn,
+                       _S=lay.S, _n=lay.lanes):
+            ib, ix = _i(sim, env)
+            MB = sim.MB[_mi]
+            MX = sim.MX[_mi]
+            MSg = sim.MSg[_mi]
+            rb = 0
+            rx = 0
+            for lane in range(_n):
+                shift = lane * _S
+                if (ix >> shift) & _ifm:
+                    rx |= _wfm << shift
+                    continue
+                a = (ib >> shift) & _ifm
+                if a < _lo or a > _hi:
+                    rx |= _wfm << shift
+                    continue
+                w = a - _lo
+                b = (MB[w] >> shift) & _wfm
+                x = (MX[w] >> shift) & _wfm
+                if _F1 and (MSg[w] >> shift) & 1:
+                    if x >> _sgn:
+                        x |= _F1
+                    elif b >> _sgn:
+                        b |= _F1
+                rb |= b << shift
+                rx |= x << shift
+            return rb, rx
+        return read_lanes, width, None
+
     def _c_PartSelect(self, expr, ctx):
         lay = self.layout
         if not isinstance(expr.base, ast.Identifier):
             self.fail("computed part-select base")
         entry = self._signal(expr.base.name)
-        if isinstance(entry, Value) or not hasattr(entry, "comb_listeners"):
+        if isinstance(entry, Value) or isinstance(entry, Memory) or \
+                not hasattr(entry, "comb_listeners"):
             self.fail("part-select of a non-signal")
-        if entry.signed:
-            self.fail("signed signal read")
         if expr.mode == ":":
             hi = self._const_int(expr.msb)
             lo = self._const_int(expr.lsb)
@@ -875,6 +1397,21 @@ class _ProcCompiler:
         if expr.name == "$unsigned" and expr.args:
             fn, W, const = self.compile_expr(expr.args[0], 0)
             return fn, max(W, ctx), const
+        if expr.name == "$signed" and expr.args:
+            # Reinterpret at the operand's self-determined width, THEN
+            # extend to context — unconditionally (every lane), unlike
+            # a declared-signed signal read.
+            fn, W, const = self.compile_expr(expr.args[0], 0)
+            width = max(W, ctx)
+            if const is not None:
+                fm = (1 << W) - 1
+                value = Value(const[0] & fm, W, const[1] & fm,
+                              signed=True).resize(width)
+                return self._const_node(value.bits, value.xmask, width)
+            if width > W:
+                return (self._extend(fn, W, width, self.layout.L1),
+                        width, None)
+            return fn, W, None
         if expr.name == "$clog2" and expr.args:
             value = self._const_int(expr.args[0])
             result = max(value - 1, 0).bit_length()
@@ -945,9 +1482,164 @@ class _ProcCompiler:
             return self._compile_if(stmt)
         if isinstance(stmt, ast.Case):
             return self._compile_case(stmt)
+        if isinstance(stmt, ast.For):
+            return self._compile_for(stmt)
         if isinstance(stmt, ast.NullStmt):
             return None
         self.fail(f"unsupported statement {type(stmt).__name__}")
+
+    def _compile_for(self, stmt):
+        """Unroll a compile-time-bounded ``for`` loop.
+
+        The loop variable must be a plain signal written only by the
+        loop's own init/step, with the init value, condition, and step
+        all folding to constants once the variable is bound.  Each
+        iteration compiles the body with the variable bound to its
+        known committed value — reads fold to constants, so shift
+        amounts and bit/part-select addresses become structural
+        constants — while the init/step still compile as *real*
+        assignments, so the variable's commits (event counts, traces,
+        listener wakes) mirror the scalar engines'.  Anything else
+        demotes, exactly as before.
+        """
+        init, step = stmt.init, stmt.step
+        if not (isinstance(init, ast.Assign)
+                and isinstance(init.target, ast.Identifier)
+                and isinstance(step, ast.Assign)
+                and isinstance(step.target, ast.Identifier)
+                and init.target.name == step.target.name):
+            self.fail("for-loop without a single plain loop variable")
+        name = init.target.name
+        entry = self._target_signal(name)
+        if (isinstance(entry, (Value, Memory))
+                or not hasattr(entry, "comb_listeners")):
+            self.fail("for-loop variable is not a packable signal")
+        if name in self._loop_bind:
+            self.fail("for-loop variable shadows an enclosing loop")
+        if self._stmt_writes(stmt.body, name):
+            self.fail("for-loop body writes the loop variable")
+        w = entry.width
+        fm = (1 << w) - 1
+        top = 1 << (w - 1) if getattr(entry, "signed", False) else 0
+
+        def committed(expr):
+            # The value the assignment stores: RHS resized to the
+            # variable's width.  A signed variable must stay in the
+            # non-negative range — the constant folds (and the plain
+            # comparisons below) read its bits as its value.
+            try:
+                val = self._const_int(expr) & fm
+            except NotPackable:
+                self.fail("non-constant for-loop bound")
+            if val & top:
+                self.fail("for-loop value leaves the non-negative "
+                          "range")
+            return val
+
+        fns = []
+        fn = self._compile_assign(init)
+        if fn is not None:
+            fns.append(fn)
+        val = committed(init.value)
+        iters = 0
+        try:
+            while True:
+                self._loop_bind[name] = val
+                if not self._fold_loop_cond(stmt.cond):
+                    break
+                iters += 1
+                if iters > _MAX_UNROLL:
+                    self.fail("for-loop unrolls past the iteration "
+                              "budget")
+                if stmt.body is not None:
+                    fn = self.compile_stmt(stmt.body)
+                    if fn is not None:
+                        fns.append(fn)
+                fn = self._compile_assign(step)
+                if fn is not None:
+                    fns.append(fn)
+                val = committed(step.value)
+        finally:
+            self._loop_bind.pop(name, None)
+        if not fns:
+            return None
+        if len(fns) == 1:
+            return fns[0]
+        fns = tuple(fns)
+
+        def unrolled(sim, env, mask, _fns=fns):
+            for fn in _fns:
+                fn(sim, env, mask)
+        return unrolled
+
+    def _fold_loop_cond(self, cond):
+        """Compile-time truth of a for condition with the loop
+        variable bound; mirrors ``Value._compare`` on definite
+        operands (each side extends per its OWN signedness to the
+        common width, then compares signed iff both are signed)."""
+        if not (isinstance(cond, ast.Binary)
+                and cond.op in ("==", "!=", "<", "<=", ">", ">=")):
+            self.fail("non-constant for-loop condition")
+        try:
+            lw = self.self_width(cond.left)
+            rw = self.self_width(cond.right)
+            lv = self._const_int(cond.left) & ((1 << lw) - 1)
+            rv = self._const_int(cond.right) & ((1 << rw) - 1)
+        except NotPackable:
+            self.fail("non-constant for-loop condition")
+        ls = not self._const_unsigned(cond.left)
+        rs = not self._const_unsigned(cond.right)
+        W = max(lw, rw)
+
+        def ext(v, vw, sgn):
+            if sgn and vw and (v >> (vw - 1)) & 1:
+                v |= ((1 << W) - 1) ^ ((1 << vw) - 1)
+            return v
+
+        a = ext(lv, lw, ls)
+        b = ext(rv, rw, rs)
+        if ls and rs:
+            half = 1 << (W - 1)
+            if a & half:
+                a -= 1 << W
+            if b & half:
+                b -= 1 << W
+        return {"==": a == b, "!=": a != b, "<": a < b,
+                "<=": a <= b, ">": a > b, ">=": a >= b}[cond.op]
+
+    def _stmt_writes(self, stmt, name):
+        """Does any assignment under ``stmt`` target ``name``?"""
+        if stmt is None or isinstance(stmt, ast.NullStmt):
+            return False
+        if isinstance(stmt, ast.Assign):
+            target = stmt.target
+            parts = (target.parts if isinstance(target, ast.Concat)
+                     else [target])
+            for part in parts:
+                if isinstance(part, ast.Identifier) and \
+                        part.name == name:
+                    return True
+                if isinstance(part, (ast.Index, ast.PartSelect)) and \
+                        isinstance(part.base, ast.Identifier) and \
+                        part.base.name == name:
+                    return True
+            return False
+        if isinstance(stmt, ast.Block):
+            return any(self._stmt_writes(s, name)
+                       for s in stmt.statements)
+        if isinstance(stmt, ast.If):
+            return (self._stmt_writes(stmt.then_stmt, name)
+                    or self._stmt_writes(stmt.else_stmt, name))
+        if isinstance(stmt, ast.Case):
+            return any(self._stmt_writes(item.body, name)
+                       for item in stmt.items)
+        if isinstance(stmt, ast.For):
+            return (self._stmt_writes(stmt.init, name)
+                    or self._stmt_writes(stmt.step, name)
+                    or self._stmt_writes(stmt.body, name))
+        if isinstance(stmt, ast.While):
+            return self._stmt_writes(stmt.body, name)
+        return True     # unknown statement: assume it does
 
     def _assign_target(self, target):
         """Resolve a target to ``(signal, lo, slice_width)``.
@@ -958,21 +1650,17 @@ class _ProcCompiler:
         run-time addressing demotes the process."""
         if isinstance(target, ast.Identifier):
             entry = self._target_signal(target.name)
-            if isinstance(entry, Value) or not hasattr(entry,
-                                                       "comb_listeners"):
+            if (isinstance(entry, (Value, Memory))
+                    or not hasattr(entry, "comb_listeners")):
                 self.fail("assignment to a non-signal")
-            if entry.signed:
-                self.fail("assignment to a signed signal")
             return entry, 0, entry.width
         if isinstance(target, ast.Index):
             if not isinstance(target.base, ast.Identifier):
                 self.fail("non-identifier bit-select target base")
             entry = self._target_signal(target.base.name)
-            if isinstance(entry, Value) or not hasattr(entry,
-                                                       "comb_listeners"):
+            if (isinstance(entry, (Value, Memory))
+                    or not hasattr(entry, "comb_listeners")):
                 self.fail("bit-select assignment to a non-signal")
-            if entry.signed:
-                self.fail("assignment to a signed signal")
             bit = self._const_int(target.index)
             if bit < 0 or bit >= entry.width:
                 self.fail("out-of-range bit-select target")
@@ -981,11 +1669,9 @@ class _ProcCompiler:
             if not isinstance(target.base, ast.Identifier):
                 self.fail("non-identifier part-select target base")
             entry = self._target_signal(target.base.name)
-            if isinstance(entry, Value) or not hasattr(entry,
-                                                       "comb_listeners"):
+            if (isinstance(entry, (Value, Memory))
+                    or not hasattr(entry, "comb_listeners")):
                 self.fail("part-select assignment to a non-signal")
-            if entry.signed:
-                self.fail("assignment to a signed signal")
             if target.mode == ":":
                 hi = self._const_int(target.msb)
                 lo = self._const_int(target.lsb)
@@ -1005,6 +1691,11 @@ class _ProcCompiler:
     def _compile_assign(self, stmt):
         if isinstance(stmt.target, ast.Concat):
             return self._compile_assign_concat(stmt)
+        if (isinstance(stmt.target, ast.Index)
+                and isinstance(stmt.target.base, ast.Identifier)):
+            entry = self._target_signal(stmt.target.base.name)
+            if isinstance(entry, Memory):
+                return self._compile_mem_store(stmt, entry)
         entry, lo, tw = self._assign_target(stmt.target)
         meta = self.program.meta_by_name[entry.name]
         if lo != 0 or tw != meta.width:
@@ -1064,6 +1755,69 @@ class _ProcCompiler:
             vb, vx = _v(sim, env)
             sim._nba.append((_meta, mask, vb & _TM, vx & _TM, None))
         return assign_nba
+
+    def _compile_mem_store(self, stmt, memory):
+        """Store to one memory word: ``mem[addr] <= value``.
+
+        Mirrors the kernel's ``_mem_write``: an x or out-of-range
+        address drops the store but the event count still bumps and
+        comb listeners still wake; the stored word takes the RHS
+        value's dynamic signedness (``Memory.write`` only resizes on a
+        width mismatch).  Non-blocking stores resolve address and
+        value at schedule time, exactly like the kernel's
+        ``_pt(_MW, ...)`` partial."""
+        lay = self.layout
+        mm = self.program.mem_by_name[memory.name]
+        vfn, _, _ = self.compile_expr(stmt.value, mm.width)
+        TM = lay.Mr(mm.width)
+        smask = self._signed_lanes(stmt.value)
+        kind = self.process.kind
+        pos = (self.program.level_of[id(self.process)]
+               if kind == "comb" else None)
+        deferred = kind != "comb" and not stmt.blocking
+        try:
+            addr = self._const_int(stmt.target.index)
+        except NotPackable:
+            addr = None
+        if addr is not None:
+            w = addr - mm.lo if mm.lo <= addr <= mm.hi else None
+            if deferred:
+                def store_nba(sim, env, mask, _v=vfn, _mm=mm, _w=w,
+                              _TM=TM, _sm=smask):
+                    vb, vx = _v(sim, env)
+                    sw = _sm(sim, env) if callable(_sm) else _sm
+                    sim._nba.append(("mem", _mm, _w, mask, vb & _TM,
+                                     vx & _TM, sw))
+                return store_nba
+
+            def store_now(sim, env, mask, _v=vfn, _mm=mm, _w=w,
+                          _TM=TM, _sm=smask, _pos=pos):
+                vb, vx = _v(sim, env)
+                sw = _sm(sim, env) if callable(_sm) else _sm
+                sim._mem_commit_word(_mm, _w, mask, vb & _TM,
+                                     vx & _TM, sw, exclude=_pos)
+            return store_now
+        ifn, iW, _ = self.compile_expr(stmt.target.index, 0)
+        lay.need(iW)
+        ifm = (1 << iW) - 1
+        if deferred:
+            def store_rt_nba(sim, env, mask, _v=vfn, _i=ifn,
+                             _ifm=ifm, _mm=mm, _TM=TM, _sm=smask):
+                vb, vx = _v(sim, env)
+                ib, ix = _i(sim, env)
+                sw = _sm(sim, env) if callable(_sm) else _sm
+                sim._nba.append(("mem-rt", _mm, (ib, ix, _ifm), mask,
+                                 vb & _TM, vx & _TM, sw))
+            return store_rt_nba
+
+        def store_rt(sim, env, mask, _v=vfn, _i=ifn, _ifm=ifm,
+                     _mm=mm, _TM=TM, _sm=smask, _pos=pos):
+            vb, vx = _v(sim, env)
+            ib, ix = _i(sim, env)
+            sw = _sm(sim, env) if callable(_sm) else _sm
+            sim._mem_commit_lanes(_mm, mask, ib, ix, _ifm, vb & _TM,
+                                  vx & _TM, sw, exclude=_pos)
+        return store_rt
 
     def _compile_assign_slice(self, stmt, entry, meta, lo, tw):
         """Assignment to a constant bit/part-select of ``entry``.
@@ -1237,6 +1991,13 @@ class _ProcCompiler:
         lay = self.layout
         L1 = lay.L1
         sfn, sW, _ = self.compile_expr(stmt.subject, 0)
+        # A label wider than the subject makes the comparison resize
+        # the subject per its own dynamic signedness.  Each matcher
+        # extends to ITS label width (extending once to the widest
+        # label would leak extension bits into a narrower matcher's
+        # carry collapse), gated on the subject's signed-lane mask.
+        smask = self._signed_lanes(stmt.subject)
+        sgn = sW - 1
         items = []
         default_fn = None
         for item in stmt.items:
@@ -1254,20 +2015,30 @@ class _ProcCompiler:
                 Wm = lW
                 lay.need(Wm + 1)
                 FM = lay.Mr(Wm)
+                EXT = ((1 << Wm) - (1 << sW)) if Wm > sW else 0
                 if stmt.kind == "case":
-                    def match(sb, sx, _lb=lb, _lx=lx, _FM=FM, _W=Wm,
-                              _L1=L1):
+                    def match(sb, sx, sw, _lb=lb, _lx=lx, _FM=FM,
+                              _W=Wm, _L1=L1, _E=EXT, _s=sgn):
+                        if _E and sw:
+                            sb = sb | (((sb >> _s) & _L1 & sw) * _E)
+                            sx = sx | (((sx >> _s) & _L1 & sw) * _E)
                         diff = (sb ^ _lb) | (sx ^ _lx)
                         return _L1 ^ (((diff + _FM) >> _W) & _L1)
                 elif stmt.kind == "casez":
-                    def match(sb, sx, _lb=lb, _lx=lx, _FM=FM, _W=Wm,
-                              _L1=L1):
+                    def match(sb, sx, sw, _lb=lb, _lx=lx, _FM=FM,
+                              _W=Wm, _L1=L1, _E=EXT, _s=sgn):
+                        if _E and sw:
+                            sb = sb | (((sb >> _s) & _L1 & sw) * _E)
+                            sx = sx | (((sx >> _s) & _L1 & sw) * _E)
                         keep = _FM ^ _lx
                         diff = (((sb ^ _lb) | sx) & keep)
                         return _L1 ^ (((diff + _FM) >> _W) & _L1)
                 else:  # casex
-                    def match(sb, sx, _lb=lb, _lx=lx, _FM=FM, _W=Wm,
-                              _L1=L1):
+                    def match(sb, sx, sw, _lb=lb, _lx=lx, _FM=FM,
+                              _W=Wm, _L1=L1, _E=EXT, _s=sgn):
+                        if _E and sw:
+                            sb = sb | (((sb >> _s) & _L1 & sw) * _E)
+                            sx = sx | (((sx >> _s) & _L1 & sw) * _E)
                         diff = (sb ^ _lb) & (_FM ^ _lx) & (_FM ^ sx)
                         return _L1 ^ (((diff + _FM) >> _W) & _L1)
                 matchers.append(match)
@@ -1275,15 +2046,16 @@ class _ProcCompiler:
         items = tuple(items)
 
         def case_stmt(sim, env, mask, _sfn=sfn, _items=items,
-                      _default=default_fn):
+                      _default=default_fn, _sm=smask):
             sb, sx = _sfn(sim, env)
+            sw = _sm(sim, env) if callable(_sm) else _sm
             remaining = mask
             for matchers, body_fn in _items:
                 if not remaining:
                     break
                 hit = 0
                 for match in matchers:
-                    hit |= match(sb, sx)
+                    hit |= match(sb, sx, sw)
                 hit &= remaining
                 if hit:
                     if body_fn is not None:
@@ -1310,6 +2082,8 @@ class _LaneProgram:
         self.lanes = layout.lanes
         self.metas = ()
         self.meta_by_name = {}
+        self.mem_metas = ()
+        self.mem_by_name = {}
         self.defer_ok = []
         self.level_of = {}           # id(compile-time Process) -> order pos
         self.comb_proc_indices = ()  # order pos -> design process index
@@ -1345,6 +2119,16 @@ def _build_metas(program, design):
     program.metas = tuple(metas)
     program.meta_by_name = by_name
     program.defer_ok = defer
+    mem_metas = []
+    mem_by_name = {}
+    for idx, memory in enumerate(design.memories.values()):
+        layout.need(memory.width + 1)  # mem reads share the guard bit
+        mm = _MemMeta(idx, memory.name, memory.width, memory.lo,
+                      memory.hi)
+        mem_metas.append(mm)
+        mem_by_name[memory.name] = mm
+    program.mem_metas = tuple(mem_metas)
+    program.mem_by_name = mem_by_name
 
 
 def _attach_listeners(program, design, order):
@@ -1362,6 +2146,12 @@ def _attach_listeners(program, design, order):
             (edge, proc_index[id(p)])
             for edge, p in signal.edge_listeners
         )
+    for mm in program.mem_metas:
+        memory = design.memories[mm.name]
+        mm.comb_dirty = tuple(sorted(
+            level_of[id(p)] for p in memory.comb_listeners
+            if id(p) in level_of
+        ))
 
 
 def _collect_store_names(target, out):
@@ -1464,16 +2254,16 @@ def compile_lane_program(design, lanes):
     """Compile ``design`` into an N-lane program.
 
     Raises :class:`NotPackable` when the design cannot keep the lane
-    parity contract at all (memories, ``$time``/``$random``,
-    unlevelizable comb logic — the scalar compiled backend runs those
-    under a different scheduler); callers fall back to
-    :class:`ScalarLaneBatch`.  A kernel-compiled process the packer
-    cannot lower demotes *per process* to the interpreter shim
-    (``packer_demotions`` records the reasons), keeping the rest of
-    the design packed.
+    parity contract at all (``$time``/``$random``, unlevelizable comb
+    logic — the scalar compiled backend runs those under a different
+    scheduler); callers fall back to :class:`ScalarLaneBatch`.
+    Memories and signed signals pack: memories as per-word lane planes
+    (with per-word dynamic-signedness masks), signed signals through
+    per-lane sign-extension at widening read sites.  A kernel-compiled
+    process the packer cannot lower demotes *per process* to the
+    interpreter shim (``packer_demotions`` records the reasons),
+    keeping the rest of the design packed.
     """
-    if design.memories:
-        raise NotPackable("memories are not lane-packable")
     for process in design.processes:
         if _uses_nonpackable_functions(process):
             raise NotPackable("$time/$stime/$random in a process body")
@@ -1485,6 +2275,9 @@ def compile_lane_program(design, lanes):
     demoted = set(kernel["demoted"])
     max_width = max(
         (s.width for s in design.signals.values()), default=1)
+    if design.memories:
+        max_width = max(max_width, max(
+            m.width for m in design.memories.values()))
     stride = max(max_width + 2, 34)
     while True:
         try:
@@ -1544,6 +2337,18 @@ class _LaneShim:
             signals[meta.idx].value = Value(
                 (B[meta.idx] >> shift) & fm, meta.width,
                 (X[meta.idx] >> shift) & fm, signed)
+        for mm in batch.program.mem_metas:
+            memory = batch._mems[mm.idx]
+            MB = batch.MB[mm.idx]
+            MX = batch.MX[mm.idx]
+            MSg = batch.MSg[mm.idx]
+            fm = mm.fm
+            width = mm.width
+            words = memory.words
+            for w in range(len(words)):
+                words[w] = Value((MB[w] >> shift) & fm, width,
+                                 (MX[w] >> shift) & fm,
+                                 bool((MSg[w] >> shift) & 1))
         self.lane = lane
         self.time = (batch._tm >> shift) & batch._MS
 
@@ -1643,9 +2448,34 @@ class _LaneShim:
                 ):
                     batch._schedule_clocked(pi, 1 << shift)
 
-    def _notify_memory_write(self, memory):  # pragma: no cover
-        raise SimulationError(
-            "memories are not lane-packable (guarded at compile)")
+    def _notify_memory_write(self, memory):
+        """A shim-run process stored a word through ``Memory.write``:
+        land the lane's words back in the packed planes with engine
+        accounting (unconditional event bump + comb wake-up)."""
+        batch = self.batch
+        mm = batch._mem_by_name[memory.name]
+        shift = self.lane * batch._S
+        keep = ~(mm.fm << shift)
+        lane_bit = 1 << shift
+        MB = batch.MB[mm.idx]
+        MX = batch.MX[mm.idx]
+        MSg = batch.MSg[mm.idx]
+        for w, value in enumerate(memory.words):
+            MB[w] = (MB[w] & keep) | (value.bits << shift)
+            MX[w] = (MX[w] & keep) | (value.xmask << shift)
+            if value.signed:
+                MSg[w] |= lane_bit
+            else:
+                MSg[w] &= ~lane_bit
+        batch._ec += lane_bit
+        if mm.comb_dirty:
+            exclude = batch._pos_of_proc.get(id(self._running))
+            dirty = batch._dirty
+            dirty_lanes = batch._dirty_lanes
+            for pos in mm.comb_dirty:
+                if pos != exclude:
+                    dirty[pos] = 1
+                    dirty_lanes[pos] |= lane_bit
 
 
 class PackedLaneBatch:
@@ -1664,6 +2494,7 @@ class PackedLaneBatch:
     backend_name = "lanes"
     code_coverage = None
     demotion = None
+    demotion_reasons = ()
 
     def __init__(self, design, program, trace=True):
         self.design = design
@@ -1682,6 +2513,23 @@ class PackedLaneBatch:
             value = signal.value
             self.B.append(layout.replicate(value.bits, meta.width))
             self.X.append(layout.replicate(value.xmask, meta.width))
+        # Memories: per-word packed planes.  Like signal planes these
+        # start as every lane holding the scalar design's current word
+        # (all-x unsigned unless an initial block ran before packing).
+        self._mems = [design.memories[mm.name]
+                      for mm in program.mem_metas]
+        self._mem_by_name = program.mem_by_name
+        self.MB = []
+        self.MX = []
+        self.MSg = []
+        L1 = layout.L1
+        for mm, memory in zip(program.mem_metas, self._mems):
+            self.MB.append([layout.replicate(w.bits, mm.width)
+                            for w in memory.words])
+            self.MX.append([layout.replicate(w.xmask, mm.width)
+                            for w in memory.words])
+            self.MSg.append([L1 if w.signed else 0
+                             for w in memory.words])
         # Per-lane time and event-count live as packed planes too: a
         # commit bumps every changed lane's count with ONE bigint add
         # (``_ec += changed``), and advancing time is ``_tm += mask *
@@ -1695,10 +2543,9 @@ class PackedLaneBatch:
         # (Signal init is Value.all_x) and only take the declared
         # signedness on their first changed write — so a read of a
         # never-written signed reg zero-extends.  Track which lanes
-        # have written each signed signal so shim materialization
-        # rebuilds that exact per-lane state.  Packed kernels never
-        # touch signed signals (reads and writes both demote), so
-        # only shim writes and pokes update these masks.
+        # have written each signed signal; packed commits, shim
+        # writes and pokes all keep these masks current, and widening
+        # packed reads sign-extend exactly the recorded lanes.
         self._signed_written = {
             meta.idx: 0 for meta in program.metas if meta.signed}
         self.active_mask = self._L1
@@ -1845,6 +2692,67 @@ class PackedLaneBatch:
                 if fire:
                     self._schedule_clocked(pi, fire)
 
+    def _mem_commit_word(self, mm, w, mask, vb, vx, sw, exclude=None):
+        """Constant-address memory store for the ``mask`` lanes.
+
+        ``w`` is ``None`` for a compile-time out-of-range address: the
+        store drops but (matching ``_mem_write``) the event count still
+        bumps and comb listeners still wake — memory writes carry no
+        change check."""
+        if w is not None:
+            me = mask * mm.fm
+            mi = mm.idx
+            MB = self.MB[mi]
+            MX = self.MX[mi]
+            MSg = self.MSg[mi]
+            MB[w] = (MB[w] & ~me) | (vb & me)
+            MX[w] = (MX[w] & ~me) | (vx & me)
+            MSg[w] = (MSg[w] & ~mask) | (sw & mask)
+        self._ec += mask
+        if mm.comb_dirty:
+            dirty = self._dirty
+            dirty_lanes = self._dirty_lanes
+            for pos in mm.comb_dirty:
+                if pos != exclude:
+                    dirty[pos] = 1
+                    dirty_lanes[pos] |= mask
+
+    def _mem_commit_lanes(self, mm, mask, ib, ix, ifm, vb, vx, sw,
+                          exclude=None):
+        """Runtime-address memory store: each lane addresses its own
+        word; x or out-of-range lanes drop the store (but still count
+        the write event, like the engines)."""
+        mi = mm.idx
+        MB = self.MB[mi]
+        MX = self.MX[mi]
+        MSg = self.MSg[mi]
+        fm = mm.fm
+        lo = mm.lo
+        hi = mm.hi
+        remaining = mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            shift = low.bit_length() - 1
+            if (ix >> shift) & ifm:
+                continue
+            a = (ib >> shift) & ifm
+            if a < lo or a > hi:
+                continue
+            w = a - lo
+            me = fm << shift
+            MB[w] = (MB[w] & ~me) | (vb & me)
+            MX[w] = (MX[w] & ~me) | (vx & me)
+            MSg[w] = (MSg[w] & ~low) | (sw & low)
+        self._ec += mask
+        if mm.comb_dirty:
+            dirty = self._dirty
+            dirty_lanes = self._dirty_lanes
+            for pos in mm.comb_dirty:
+                if pos != exclude:
+                    dirty[pos] = 1
+                    dirty_lanes[pos] |= mask
+
     def _trace_append(self, lane, meta, value):
         time = (self._tm >> (lane * self._S)) & self._MS
         history = self.traces[lane].get(meta.name)
@@ -1904,6 +2812,16 @@ class PackedLaneBatch:
                         shim.materialize(lane)
                         shim._running = None
                         fn()
+                    elif head.__class__ is str:
+                        if head == "mem":
+                            _, mm, w, mask, vb, vx, sw = entry
+                            self._mem_commit_word(mm, w, mask, vb, vx,
+                                                  sw)
+                        else:  # "mem-rt"
+                            _, mm, addr, mask, vb, vx, sw = entry
+                            ib, ix, ifm = addr
+                            self._mem_commit_lanes(mm, mask, ib, ix,
+                                                   ifm, vb, vx, sw)
                     else:
                         self._commit(head, entry[1], entry[2], entry[3],
                                      None, entry[4])
@@ -1993,27 +2911,58 @@ class PackedLaneBatch:
             S = self._S
             fm = meta.fm
             width = meta.width
-            signed = meta.signed
             idx = meta.idx
             B = self.B
             X = self.X
             memo = {}
 
-            def read(lane, _idx=idx, _S=S, _fm=fm, _width=width,
-                     _signed=signed, _B=B, _X=X, _memo=memo):
-                shift = lane * _S
-                key = ((_B[_idx] >> shift) & _fm,
-                       (_X[_idx] >> shift) & _fm)
-                value = _memo.get(key)
-                if value is None:
-                    value = _memo[key] = Value(
-                        key[0], _width, key[1], _signed)
-                return value
+            if meta.signed:
+                # The stored value's dynamic signedness is per lane
+                # (unsigned until the lane's first changed write), so
+                # it joins the memo key.
+                sw = self._signed_written
+
+                def read(lane, _idx=idx, _S=S, _fm=fm, _width=width,
+                         _B=B, _X=X, _sw=sw, _memo=memo):
+                    shift = lane * _S
+                    key = ((_B[_idx] >> shift) & _fm,
+                           (_X[_idx] >> shift) & _fm,
+                           (_sw[_idx] >> shift) & 1)
+                    value = _memo.get(key)
+                    if value is None:
+                        value = _memo[key] = Value(
+                            key[0], _width, key[1], bool(key[2]))
+                    return value
+            else:
+                def read(lane, _idx=idx, _S=S, _fm=fm, _width=width,
+                         _B=B, _X=X, _memo=memo):
+                    shift = lane * _S
+                    key = ((_B[_idx] >> shift) & _fm,
+                           (_X[_idx] >> shift) & _fm)
+                    value = _memo.get(key)
+                    if value is None:
+                        value = _memo[key] = Value(
+                            key[0], _width, key[1], False)
+                    return value
             fn = self._readers[name] = read
         return fn
 
     def get(self, name, lane):
         return self.reader(name)(lane)
+
+    def peek_memory(self, name, address, lane):
+        """One lane's stored word (engine ``peek_memory`` semantics:
+        out-of-range reads are all-x)."""
+        mm = self._mem_by_name.get(name)
+        if mm is None:
+            raise SimulationError(f"no memory named '{name}'")
+        if address is None or address < mm.lo or address > mm.hi:
+            return Value.all_x(mm.width)
+        w = address - mm.lo
+        shift = lane * self._S
+        return Value((self.MB[mm.idx][w] >> shift) & mm.fm, mm.width,
+                     (self.MX[mm.idx][w] >> shift) & mm.fm,
+                     bool((self.MSg[mm.idx][w] >> shift) & 1))
 
     def signal_width(self, name):
         return self._meta_by_name[name].width
@@ -2105,11 +3054,19 @@ class ScalarLaneBatch:
     backend_name = "lanes-scalar"
     code_coverage = None
 
-    def __init__(self, source, lanes, trace=True, top=None, demotion=None):
+    def __init__(self, source, lanes, trace=True, top=None, demotion=None,
+                 demotion_reasons=None):
         from repro.sim.compile.engine import CompiledSimulator
 
         self.lanes = lanes
         self.demotion = demotion
+        # The full deduped reason set behind the demotion (the
+        # ``demotion`` string is a human-readable summary of it); the
+        # campaign's structured demotion histogram counts every entry.
+        if demotion_reasons:
+            self.demotion_reasons = tuple(demotion_reasons)
+        else:
+            self.demotion_reasons = (demotion,) if demotion else ()
         self.sims = [
             CompiledSimulator(elaborate(source, top=top), trace=trace)
             for _ in range(lanes)
@@ -2173,6 +3130,9 @@ class ScalarLaneBatch:
     def get(self, name, lane):
         return self.sims[lane].get(name)
 
+    def peek_memory(self, name, address, lane):
+        return self.sims[lane].peek_memory(name, address)
+
     def signal_width(self, name):
         return self.sims[0]._find_signal(name).width
 
@@ -2215,16 +3175,38 @@ class ScalarLaneBatch:
         self._active[lane] = False
 
 
-def default_lanes():
-    """Lane count from ``REPRO_SIM_LANES`` (unset/invalid -> 1)."""
+def default_lanes(require=False):
+    """Lane count from ``REPRO_SIM_LANES``.
+
+    ``require=True`` (explicit ``--lanes auto``) insists the variable
+    is set; an unset variable then raises :class:`ValueError` instead
+    of silently serializing the campaign.  Either way, a variable that
+    *is* set must hold a positive integer — a typo'd value is an
+    error, never a silent ``1``.
+    """
     import os
 
-    raw = os.environ.get("REPRO_SIM_LANES", "").strip()
-    try:
-        lanes = int(raw)
-    except ValueError:
+    raw = os.environ.get("REPRO_SIM_LANES")
+    if raw is None:
+        if require:
+            raise ValueError(
+                "--lanes auto: REPRO_SIM_LANES is not set; export "
+                "REPRO_SIM_LANES=<N> or pass --lanes N explicitly"
+            )
         return 1
-    return lanes if lanes >= 1 else 1
+    try:
+        lanes = int(raw.strip())
+    except ValueError:
+        raise ValueError(
+            f"--lanes auto: REPRO_SIM_LANES={raw!r} is not an "
+            f"integer; export REPRO_SIM_LANES=<N> or pass --lanes N"
+        ) from None
+    if lanes < 1:
+        raise ValueError(
+            f"--lanes auto: REPRO_SIM_LANES={raw!r} must be a "
+            f"positive integer"
+        )
+    return lanes
 
 
 def make_lane_batch(source, lanes, trace=True, top=None,
@@ -2256,5 +3238,6 @@ def make_lane_batch(source, lanes, trace=True, top=None,
         return ScalarLaneBatch(
             source, lanes, trace=trace, top=top,
             demotion="per-process shim would regress: "
-                     + "; ".join(reasons[:3]))
+                     + "; ".join(reasons),
+            demotion_reasons=reasons)
     return PackedLaneBatch(design, program, trace=trace)

@@ -274,6 +274,16 @@ def _compare_lane(batch, scalar, lane, context):
                 f"t={scalar.time}: signal '{name}' lane {lane} "
                 f"packed={a!r} scalar={b!r}"
             )
+    for name, memory in scalar.design.memories.items():
+        for address in range(memory.lo, memory.hi + 1):
+            a = batch.peek_memory(name, address, lane)
+            b = scalar.peek_memory(name, address)
+            if a != b or a.xmask != b.xmask or a.signed != b.signed:
+                raise XCheckDivergence(
+                    f"lane-parity: diverged after {context} at "
+                    f"t={scalar.time}: memory '{name}[{address}]' "
+                    f"lane {lane} packed={a!r} scalar={b!r}"
+                )
     if batch.event_counts[lane] != scalar.event_count:
         raise XCheckDivergence(
             f"lane-parity: event count diverged after {context} on "

@@ -73,7 +73,8 @@ def _scalar_fallback(source, streams, protocol, model_factory,
         for stream in streams
     ]
     return results, {"lanes": len(streams), "packed": False,
-                     "demotion": reason}
+                     "demotion": reason,
+                     "demotion_reasons": (reason,) if reason else ()}
 
 
 def run_uvm_test_lanes(source, sequences, protocol, model_factory,
@@ -84,8 +85,9 @@ def run_uvm_test_lanes(source, sequences, protocol, model_factory,
     producing a *fresh* reference model / coverage collector per lane
     (reference models are stateful).  Returns ``(results, info)`` where
     ``results[i]`` corresponds to ``sequences[i]`` and ``info`` reports
-    ``{"lanes", "packed", "demotion"}`` for the campaign's lane-batch
-    counters.
+    ``{"lanes", "packed", "demotion", "demotion_reasons"}`` for the
+    campaign's lane-batch counters (``demotion_reasons`` is the full
+    deduped set the summary string abbreviates).
     """
     streams = [list(sequence) for sequence in sequences]
     lanes = len(streams)
@@ -118,7 +120,11 @@ def run_uvm_test_lanes(source, sequences, protocol, model_factory,
                                 compare_signals, top, coverage_factory,
                                 f"packed run failed: {exc}")
     return results, {"lanes": lanes, "packed": bool(batch.packed),
-                     "demotion": batch.demotion}
+                     "demotion": batch.demotion,
+                     "demotion_reasons": tuple(
+                         getattr(batch, "demotion_reasons", ()) or
+                         ((batch.demotion,) if batch.demotion else ())
+                     )}
 
 
 def _run_batch(batch, streams, protocol, model_factory, compare_signals,
