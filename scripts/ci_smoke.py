@@ -57,6 +57,16 @@ would otherwise hide:
   regressed while failures kept getting reported; point
   ``--forensics-out`` at a directory for the CI artifact.
 
+- with ``--chaos``, the same mini campaign re-runs under an injected
+  fault plan — a worker crash, a hang past the unit timeout, a torn
+  cache write, and one unit that kills its worker every time — and
+  must run to completion, quarantine *exactly* the always-crashing
+  unit as a poisoned record, leave every surviving record
+  bit-identical to a fault-free ``--jobs 1`` run, and resolve a warm
+  re-run (fault plan off) entirely from cache except the torn entry,
+  which must be quarantined under ``corrupt/`` and recomputed to the
+  identical record.
+
 Usage: python scripts/ci_smoke.py [--jobs N] [--cache-dir DIR]
                                   [--backend interp|compiled|xcheck]
                                   [--skip-backend-diff]
@@ -64,6 +74,7 @@ Usage: python scripts/ci_smoke.py [--jobs N] [--cache-dir DIR]
                                   [--lanes N]
                                   [--telemetry-out DIR]
                                   [--forensics-out DIR]
+                                  [--chaos]
 """
 
 import argparse
@@ -142,6 +153,12 @@ def main():
                         help="cache directory for the forced-failure "
                              "forensics gate; bundles land under "
                              "<dir>/forensics/ (CI uploads them)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="also run the fault-injection gate: "
+                             "worker crash + hang + torn cache write "
+                             "+ a poison unit, demanding completion, "
+                             "a single quarantine and bit-identical "
+                             "survivors")
     args = parser.parse_args()
     if args.backend is None:
         from repro.sim.backend import get_default_backend
@@ -386,6 +403,11 @@ def main():
     if code:
         return code
 
+    if args.chaos:
+        code = chaos_gate(args)
+        if code:
+            return code
+
     print(f"smoke ok: {len(units)} units, warm pass fully cached "
           f"({warm_cache.hits} hits)")
     return 0
@@ -449,6 +471,127 @@ def forensics_gate(args):
     print(f"forensics ok: {failing} failing unit(s), {len(bundles)} "
           f"bundle(s), {len(complete)} complete; replay reproduced "
           f"({detail})")
+    return 0
+
+
+def chaos_gate(args):
+    """Fault-injection gate.
+
+    The mini campaign runs under a deterministic fault plan: one unit
+    crashes its worker once (must recover via retry), one hangs past
+    the unit timeout once (must be reclaimed by the alarm and retried),
+    one has its cache write torn mid-file (must be quarantined to
+    ``corrupt/`` and recomputed on the warm pass), and one kills its
+    worker on every attempt (must be quarantined as a poisoned record
+    while the campaign runs to completion).  Every surviving record
+    must be bit-identical to a fault-free ``--jobs 1`` reference run.
+    """
+    from repro.runner import faultinject
+    from repro.runner.faults import FaultPolicy
+
+    subset = generate_dataset(seed=0, per_operator=2, target=None,
+                              modules=["counter_12"], cache_dir=None)
+    units = expand_grid(subset, ("uvllm",), attempts=1,
+                        backend=args.backend)
+    if len(units) < 4:
+        return fail(f"chaos gate: grid has only {len(units)} units; "
+                    f"the fault plan needs 4 distinct targets")
+
+    # Fault-free serial reference, fresh cache: the ground truth every
+    # chaos survivor must match bit-for-bit.
+    ref = CampaignRunner(
+        jobs=1,
+        cache=ResultCache(tempfile.mkdtemp(prefix="ci-smoke-cref-")),
+    ).run(units)
+
+    crash_once, hang_once, torn, poison = units[:4]
+
+    # Leg 1 — crash + torn write + poison unit, parallel.  The hang
+    # runs as its own leg: concurrent pool breakage would otherwise
+    # consume the hang's fault budget as collateral damage and skip
+    # the timeout path nondeterministically.
+    plan = faultinject.make_plan([
+        {"site": "unit", "match": crash_once.cache_key(),
+         "kind": "crash", "times": 1},
+        {"site": "cache-write", "match": torn.cache_key(),
+         "kind": "tear", "times": 1},
+        {"site": "unit", "match": poison.cache_key(),
+         "kind": "crash", "times": 99},
+    ])
+    chaos_dir = tempfile.mkdtemp(prefix="ci-smoke-chaos-")
+    with faultinject.plan_scope(plan):
+        runner = CampaignRunner(
+            jobs=max(2, args.jobs), cache=ResultCache(chaos_dir),
+            policy=FaultPolicy(unit_timeout=10.0, backoff=0.05),
+        )
+        chaos = runner.run(units)
+    stats = runner.fault_stats
+    if len(chaos) != len(units):
+        return fail("chaos gate: campaign dropped work units")
+    poisoned = [r for r in chaos if getattr(r, "failure_kind", None)]
+    if len(poisoned) != 1:
+        return fail(f"chaos gate: expected exactly 1 quarantined unit, "
+                    f"got {len(poisoned)} "
+                    f"({[r.instance_id for r in poisoned]})")
+    if poisoned[0].instance_id != poison.instance.instance_id:
+        return fail(f"chaos gate: wrong unit quarantined "
+                    f"({poisoned[0].instance_id}, expected "
+                    f"{poison.instance.instance_id})")
+    diverged = [
+        units[i].unit_id for i in range(len(units))
+        if units[i] is not poison and chaos[i] != ref[i]
+    ]
+    if diverged:
+        return fail(f"chaos gate: surviving records diverge from the "
+                    f"fault-free reference: {diverged[:5]}")
+    if stats["pool_respawns"] < 1 or stats["worker_deaths"] < 1 \
+            or stats["quarantined"] != 1:
+        return fail(f"chaos gate: fault counters look wrong (injected "
+                    f"crashes did not exercise the recovery paths): "
+                    f"{stats}")
+
+    # Leg 2 — one unit hangs past the timeout once; the worker-side
+    # alarm must reclaim it and the retry must land the real record.
+    hang_plan = faultinject.make_plan([
+        {"site": "unit", "match": hang_once.cache_key(),
+         "kind": "hang", "seconds": 60, "times": 1},
+    ])
+    with faultinject.plan_scope(hang_plan):
+        hang_runner = CampaignRunner(
+            jobs=max(2, args.jobs),
+            cache=ResultCache(tempfile.mkdtemp(prefix="ci-smoke-hang-")),
+            policy=FaultPolicy(unit_timeout=8.0, backoff=0.05),
+        )
+        hang_records = hang_runner.run(units)
+    hstats = hang_runner.fault_stats
+    if hang_records != ref:
+        return fail("chaos gate: records after a hang+timeout+retry "
+                    "differ from the fault-free reference")
+    if hstats["timeouts"] < 1 or hstats["quarantined"]:
+        return fail(f"chaos gate: hang leg never hit the timeout path "
+                    f"(or quarantined spuriously): {hstats}")
+
+    # Warm pass, fault plan off: everything resolves from cache except
+    # the torn entry, which must surface as a corrupt-quarantine.
+    warm_cache = ResultCache(chaos_dir)
+    warm = CampaignRunner(jobs=1, cache=warm_cache).run(units)
+    if warm != chaos:
+        return fail("chaos gate: warm re-run records differ from the "
+                    "chaos run (poisoned record did not round-trip "
+                    "the cache, or a survivor changed)")
+    if warm_cache.misses != 1:
+        return fail(f"chaos gate: warm re-run should miss exactly the "
+                    f"torn cache entry, missed {warm_cache.misses}")
+    corrupt_dir = os.path.join(chaos_dir, "corrupt")
+    if not (os.path.isdir(corrupt_dir) and os.listdir(corrupt_dir)):
+        return fail("chaos gate: torn cache write was never "
+                    "quarantined under corrupt/")
+    print(f"chaos ok: {len(units)} units under crash+hang+tear+poison; "
+          f"1 unit quarantined, survivors bit-identical, warm pass "
+          f"recovered the torn entry "
+          f"({stats['pool_respawns']} pool respawn(s), "
+          f"{stats['worker_deaths']} worker death(s), "
+          f"{hstats['timeouts']} timeout(s) in the hang leg)")
     return 0
 
 

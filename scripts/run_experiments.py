@@ -57,6 +57,14 @@ def main():
                              "unit under <cache-dir>/forensics/ "
                              "(needs --cache-dir; inspect with "
                              "`repro.cli triage`)")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per work unit; "
+                             "overrunning units are retried then "
+                             "quarantined (default: no limit)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort on the first unit failure instead "
+                             "of quarantining and continuing")
     args = parser.parse_args()
 
     if args.jobs <= 0:
@@ -74,6 +82,19 @@ def main():
     import os
 
     with contextlib.ExitStack() as stack:
+        if args.unit_timeout is not None or args.fail_fast:
+            # The experiment drivers call run_units without threading
+            # fault-policy parameters; the module-default policy scope
+            # covers every campaign they launch.
+            import dataclasses
+
+            from repro.runner import faults
+
+            stack.enter_context(faults.policy_scope(dataclasses.replace(
+                faults.get_default_policy(),
+                unit_timeout=args.unit_timeout,
+                fail_fast=args.fail_fast,
+            )))
         if args.telemetry:
             from repro.obs import sink
 

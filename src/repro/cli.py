@@ -240,10 +240,19 @@ def _cmd_campaign(args):
         print("--forensics needs --cache-dir (bundles live under "
               "<cache-dir>/forensics/)", file=sys.stderr)
         return 2
-    records = run_units(units, jobs=jobs, cache_dir=args.cache_dir,
-                        show_progress=True, lanes=lanes,
-                        telemetry=args.telemetry,
-                        forensics_capture=args.forensics)
+    from repro.runner import CampaignInterrupted
+
+    try:
+        records = run_units(units, jobs=jobs, cache_dir=args.cache_dir,
+                            show_progress=True, lanes=lanes,
+                            telemetry=args.telemetry,
+                            forensics_capture=args.forensics,
+                            unit_timeout=args.unit_timeout,
+                            fail_fast=args.fail_fast)
+    except CampaignInterrupted as exc:
+        print(f"{exc}; re-run the same command to resume",
+              file=sys.stderr)
+        return 130
     if args.telemetry:
         import os
 
@@ -303,6 +312,18 @@ def _cmd_campaign(args):
               f"repro.cli coverage "
               f"'{os.path.join(args.cache_dir, 'coverage', grid_key)}"
               f".shard-*.json'", file=sys.stderr)
+    poisoned = [r for r in records
+                if getattr(r, "failure_kind", None)]
+    if poisoned:
+        print(f"{len(poisoned)} unit(s) QUARANTINED (campaign ran to "
+              f"completion; poisoned records carry the failure "
+              f"detail):", file=sys.stderr)
+        for record in poisoned:
+            detail = record.failure_detail or {}
+            print(f"  {record.instance_id}::{record.method} "
+                  f"[{record.failure_kind}] "
+                  f"{detail.get('error', '')}", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -416,17 +437,28 @@ def _cmd_fuzz(args):
 def _run_fuzz_command(args, shard, jobs, run_fuzz, shrink, make_entry,
                       save_reproducer, trace):
     from repro.forensics import bundle as forensics
+    from repro.runner import CampaignInterrupted
 
-    summary = run_fuzz(
-        args.count, seed=args.seed, cycles=args.cycles, jobs=jobs,
-        cache_dir=args.cache_dir, shard=shard,
-        time_budget=args.time_budget, show_progress=True,
-        forensics_capture=args.forensics,
-    )
+    try:
+        summary = run_fuzz(
+            args.count, seed=args.seed, cycles=args.cycles, jobs=jobs,
+            cache_dir=args.cache_dir, shard=shard,
+            time_budget=args.time_budget, show_progress=True,
+            forensics_capture=args.forensics,
+            unit_timeout=args.unit_timeout, fail_fast=args.fail_fast,
+        )
+    except CampaignInterrupted as exc:
+        print(f"{exc}; re-run the same command to resume",
+              file=sys.stderr)
+        return 130
     print(f"fuzz: {summary['run']}/{summary['count']} designs "
           f"({summary['cached']} cached, "
           f"{summary['skipped_by_budget']} skipped by budget) in "
           f"{summary['elapsed']:.1f}s")
+    if summary.get("poisoned"):
+        print(f"{summary['poisoned']} unit(s) QUARANTINED (worker "
+              f"crash/hang/exception — not divergences; cached as "
+              f"poisoned verdicts)", file=sys.stderr)
     features = summary["features"]
     if features:
         top = ", ".join(f"{k}:{v}" for k, v in sorted(features.items()))
@@ -435,7 +467,7 @@ def _run_fuzz_command(args, shard, jobs, run_fuzz, shrink, make_entry,
     failures = summary["failures"]
     if not failures:
         print("no divergences found")
-        return 0
+        return 3 if summary.get("poisoned") else 0
     print(f"{len(failures)} failing design(s):", file=sys.stderr)
     bundles = summary.get("forensics") or [None] * len(failures)
     for verdict, bundle_dir in zip(failures, bundles):
@@ -699,6 +731,17 @@ def build_parser():
                                "bundle under <cache-dir>/forensics/ "
                                "(stimulus, waveforms, divergence "
                                "report; records stay bit-identical)")
+    campaign.add_argument("--unit-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget per unit; a unit "
+                               "that exceeds it is retried and, on a "
+                               "second strike, quarantined as a "
+                               "poisoned record (default: no limit)")
+    campaign.add_argument("--fail-fast", action="store_true",
+                          help="abort on the first unit failure "
+                               "instead of retrying/quarantining "
+                               "(restores pre-fault-tolerance "
+                               "semantics)")
     campaign.set_defaults(func=_cmd_campaign)
 
     coverage = sub.add_parser(
@@ -805,6 +848,15 @@ def build_parser():
                       help="archive every failing design as a debug "
                            "bundle under <cache-dir>/forensics/ "
                            "(verdicts are unaffected)")
+    fuzz.add_argument("--unit-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock budget per fuzz unit; a unit "
+                           "that exceeds it is retried and, on a "
+                           "second strike, quarantined as a poisoned "
+                           "verdict (default: no limit)")
+    fuzz.add_argument("--fail-fast", action="store_true",
+                      help="abort on the first unit failure instead "
+                           "of retrying/quarantining")
     fuzz.set_defaults(func=_cmd_fuzz)
 
     triage = sub.add_parser(

@@ -73,6 +73,13 @@ class InstanceRecord:
     #:    "code": {instance_id: counters}}`` — union-merged
     #: campaign-wide by :class:`repro.cover.db.CoverageDB`.
     coverage: dict = field(default_factory=dict)
+    #: Set on quarantined ("poisoned") records only: why the unit never
+    #: produced a verdict (``"worker-death"``/``"timeout"``/
+    #: ``"exception"``) plus the structured failure description
+    #: (error repr, traceback, strike count).  ``None``/``{}`` on every
+    #: normally-executed record.
+    failure_kind: Optional[str] = None
+    failure_detail: dict = field(default_factory=dict)
 
 
 def evaluate_fix(final_source, bench, seed=1000):
@@ -307,6 +314,33 @@ def unit_steps(method, instance, bench, attempts=3, base_seed=0,
     if record.hit and outcome is not None:
         record.fixed = evaluate_fix(outcome.final_source, bench)
     return record
+
+
+def make_poisoned_record(unit, failure):
+    """The structured record a quarantined campaign unit lands as.
+
+    The scheduler calls this when a unit never produced a verdict —
+    it killed its worker twice, exceeded its wall-clock budget past
+    the retry allowance, or raised a (deterministic) exception.  The
+    record scores as neither hit nor fixed, carries no coverage, and
+    stamps the failure into ``failure_kind``/``failure_detail`` so
+    campaign summaries, the cache, and forensics all see the same
+    story.
+    """
+    instance = unit.instance
+    return InstanceRecord(
+        instance_id=instance.instance_id,
+        module_name=instance.module_name,
+        category=instance.category,
+        kind=instance.kind,
+        paper_class=instance.paper_class,
+        method=unit.method,
+        hit=False,
+        fixed=False,
+        stage="poisoned",
+        failure_kind=failure.get("kind", "unknown"),
+        failure_detail=dict(failure),
+    )
 
 
 def run_unit(unit):

@@ -297,6 +297,13 @@ def capture_unit_failure(unit, record):
         return None
     if isinstance(record, dict):
         return None  # fuzz verdicts are captured by the fuzz campaign
+    if getattr(record, "failure_kind", None):
+        # A quarantined ("poisoned") record has no verdict to archive,
+        # and re-running the unit here could crash or hang the parent;
+        # its light bundle was written at quarantine time.
+        return capture_poisoned(unit, getattr(record, "failure_detail",
+                                              None) or
+                                {"kind": record.failure_kind})
     if getattr(record, "hit", True):
         return None
     instance = getattr(unit, "instance", None)
@@ -394,6 +401,50 @@ def _capture_scoreboard(unit, record, instance):
         sections["spans"] = ("spans.json", _json_bytes(spans))
     return write_bundle("scoreboard", getattr(unit, "unit_id", None),
                         sections, failure, replay)
+
+
+def capture_poisoned(unit, failure):
+    """Light bundle for a quarantined unit.
+
+    Unlike scoreboard capture this must NOT re-run the unit — a
+    poisoned unit kills or wedges whatever executes it, and the
+    capture runs in the campaign parent.  The bundle archives the
+    structured failure (kind, error, traceback, strikes), the unit's
+    identity, and the candidate source when available; ``replay`` mode
+    ``"none"`` tells triage there is nothing mechanical to re-check.
+    """
+    if not enabled():
+        return None
+    try:
+        return _capture_poisoned(unit, failure)
+    except Exception as exc:
+        _breadcrumb("capture_poisoned(%s) failed: %r"
+                    % (getattr(unit, "unit_id", "?"), exc))
+        return None
+
+
+def _capture_poisoned(unit, failure):
+    label = getattr(unit, "unit_id", None) or type(unit).__name__
+    instance = getattr(unit, "instance", None)
+    identity = {
+        "unit": label,
+        "method": getattr(unit, "method", None),
+        "backend": getattr(unit, "backend", None),
+        "module": getattr(instance, "module_name", None),
+        "instance": getattr(instance, "instance_id", None),
+    }
+    failure_doc = dict(failure or {})
+    failure_doc.setdefault("type", "poisoned")
+    sections = {
+        "failure": ("failure.json", _json_bytes(failure_doc)),
+        "unit": ("unit.json", _json_bytes(identity)),
+    }
+    source = getattr(instance, "buggy_source", None)
+    if source:
+        sections["candidate_source"] = ("candidate.v", source)
+    replay = {"mode": "none",
+              "reason": "poisoned unit: executing it is what failed"}
+    return write_bundle("poisoned", label, sections, failure_doc, replay)
 
 
 def capture_xcheck(xsim, context, signal, ref_value, dut_value, message):

@@ -113,7 +113,12 @@ def replay(manifest):
     the archived behaviour — either a fix landed or the replay
     contract broke, and both deserve a human look.
     """
-    mode = (manifest.get("replay") or {}).get("mode", "uvm-compare")
+    contract = manifest.get("replay") or {}
+    mode = contract.get("mode", "uvm-compare")
+    if mode == "none":
+        # Poisoned-unit bundles: executing the unit is what failed, so
+        # there is nothing mechanical to re-check — vacuously current.
+        return True, contract.get("reason", "no replay contract")
     with forensics.suppress():
         if mode == "fuzz":
             return _replay_fuzz(manifest)

@@ -101,9 +101,26 @@ def make_fuzz_cache(cache_dir):
                        decode=dict, schema=FUZZ_SCHEMA_VERSION)
 
 
+def make_poisoned_verdict(unit, failure):
+    """Quarantine record for a fuzz unit (the scheduler's
+    ``poisoned_factory``): a verdict-shaped dict that is neither a
+    pass nor a divergence — ``poisoned`` marks it so failure triage
+    and the shrinker skip it."""
+    return {
+        "design_seed": unit.design_seed,
+        "stim_seed": unit.stim_seed,
+        "cycles": unit.cycles,
+        "ok": False,
+        "poisoned": True,
+        "features": [],
+        "failure": dict(failure),
+    }
+
+
 def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
              shard=None, time_budget=None, show_progress=False,
-             telemetry=False, forensics_capture=False):
+             telemetry=False, forensics_capture=False,
+             unit_timeout=None, fail_fast=False):
     """Execute a fuzz campaign; returns the summary dict.
 
     ``shard`` is an ``(index, count)`` pair partitioning the seed
@@ -118,6 +135,12 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
     waveforms, first-divergence report, archived stimulus — and lists
     the bundle paths in the summary's ``forensics`` key (verdicts and
     cache keys are unaffected).
+
+    ``unit_timeout`` / ``fail_fast`` flow into the scheduler's fault
+    policy: a unit that hangs, crashes its worker, or raises is
+    retried/quarantined per :mod:`repro.runner.faults`, landing as a
+    ``poisoned`` verdict (counted in the summary's ``poisoned`` key,
+    excluded from ``failures`` — it is not a divergence).
     """
     units = expand_fuzz(count, seed=seed, cycles=cycles)
     if shard is not None:
@@ -155,7 +178,10 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
         if time_budget is None:
             verdicts = run_units(units, jobs=jobs, cache=cache,
                                  executor=execute_fuzz_unit,
-                                 show_progress=show_progress)
+                                 show_progress=show_progress,
+                                 unit_timeout=unit_timeout,
+                                 fail_fast=fail_fast,
+                                 poisoned_factory=make_poisoned_verdict)
         else:
             batch_size = max(16, jobs * 4)
             for start in range(0, len(units), batch_size):
@@ -167,9 +193,13 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
                     batch, jobs=jobs, cache=cache,
                     executor=execute_fuzz_unit,
                     show_progress=show_progress,
+                    unit_timeout=unit_timeout, fail_fast=fail_fast,
+                    poisoned_factory=make_poisoned_verdict,
                 ))
 
-        failures = [v for v in verdicts if not v["ok"]]
+        poisoned = [v for v in verdicts if v.get("poisoned")]
+        failures = [v for v in verdicts
+                    if not v["ok"] and not v.get("poisoned")]
         # Parent-side capture: failing verdicts embed source+ops, so
         # bundling works identically for executed and cached verdicts.
         if forensics_dir:
@@ -186,6 +216,7 @@ def run_fuzz(count, seed=0, cycles=24, jobs=1, cache_dir=None,
         "skipped_by_budget": exhausted,
         "cached": cache.hits if cache else 0,
         "failures": failures,
+        "poisoned": len(poisoned),
         "forensics": bundles,
         "features": dict(sorted(features.items())),
         "elapsed": time.monotonic() - started,

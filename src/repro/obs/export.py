@@ -159,6 +159,16 @@ def summarize(spans, metrics, top=10, opens=None):
         if n:
             demotions[cat] = n
 
+    faults = {
+        key: counters.get("faults." + key, 0)
+        for key in ("retries", "quarantined", "pool_respawns",
+                    "timeouts", "worker_deaths", "group_resplits",
+                    "cache_write_errors")
+        if counters.get("faults." + key, 0)
+    }
+    if counters.get("unit_cache.corrupt", 0):
+        faults["cache_corrupt"] = counters["unit_cache.corrupt"]
+
     return {
         "phases": {name: phases[name] for name in sorted(phases)},
         "slowest_units": slowest,
@@ -166,6 +176,7 @@ def summarize(spans, metrics, top=10, opens=None):
         "modules": {name: modules[name] for name in sorted(modules)},
         "caches": caches,
         "demotions": demotions,
+        "faults": faults,
         "counters": dict(sorted(counters.items())),
         "span_count": len(spans),
     }
@@ -248,6 +259,14 @@ def render_summary(report, markdown=False):
         lines.append(bold("Lane demotions"))
         for cat, n in sorted(demotions.items(), key=lambda kv: -kv[1]):
             lines.append("  %-22s %d" % (cat, n))
+        lines.append("")
+
+    faults = report.get("faults", {})
+    if faults:
+        lines.append(bold("Fault tolerance") + " (infra retries and "
+                     "quarantines; verdicts are never retried)")
+        for name, n in sorted(faults.items(), key=lambda kv: -kv[1]):
+            lines.append("  %-22s %d" % (name, n))
         lines.append("")
 
     if not lines:

@@ -23,6 +23,11 @@ from repro.runner.cache import (
     record_from_dict,
     record_to_dict,
 )
+from repro.runner.faults import (
+    CampaignInterrupted,
+    FaultPolicy,
+    UnitTimeout,
+)
 from repro.runner.grid import (
     CACHE_SCHEMA_VERSION,
     WorkUnit,
@@ -40,10 +45,13 @@ from repro.runner.scheduler import (
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "CampaignInterrupted",
     "CampaignRunner",
     "DatasetCache",
+    "FaultPolicy",
     "ProgressReporter",
     "ResultCache",
+    "UnitTimeout",
     "WorkUnit",
     "default_jobs",
     "execute_unit",

@@ -14,8 +14,12 @@ Each unit file is written atomically (temp file + ``os.replace``) by
 whichever process owns the result, so a cache directory can be shared
 by concurrent shards of the same campaign: the worst case is two
 shards computing the same unit and one overwriting the other with an
-identical record.  Corrupt or schema-mismatched files are treated as
-misses and recomputed, never propagated.
+identical record.  Schema-mismatched files are silent misses (a
+version bump deliberately orphans old entries); *corrupt* files —
+unreadable JSON, wrong shape — are quarantined to
+``<cache_dir>/corrupt/`` with a ``unit_cache.corrupt`` counter and a
+stderr warning, then recomputed: disk corruption should be visible,
+not silently papered over.
 
 Keys hash *data* inputs (sources, method name, seeds, config), not
 the code that interprets them: editing the repair pipeline or the
@@ -27,11 +31,13 @@ a fresh ``--cache-dir``.
 
 import json
 import os
+import sys
 import tempfile
 from dataclasses import asdict
 
 from repro.obs import trace
 from repro.obs.metrics import GLOBAL as _metrics
+from repro.runner import faultinject
 from repro.runner.grid import CACHE_SCHEMA_VERSION
 
 
@@ -76,15 +82,37 @@ class ResultCache:
         return os.path.join(self.unit_dir, f"{key}.json")
 
     def get(self, key):
-        """Return the cached record for ``key`` or ``None`` on a miss."""
+        """Return the cached record for ``key`` or ``None`` on a miss.
+
+        A schema-mismatched entry is a silent miss (version bumps
+        orphan old entries by design); an *unreadable or malformed*
+        entry is quarantined — moved to ``<cache_dir>/corrupt/`` with
+        a counter and a warning — before recomputing, so corruption
+        is observable and the bad bytes are preserved for forensics.
+        """
+        path = self._path(key)
         with trace.span("cache-read", cat="cache", store=self.subdir) as sp:
+            record = None
+            payload = None
             try:
-                with open(self._path(key)) as handle:
+                with open(path) as handle:
                     payload = json.load(handle)
-                if payload.get("schema") != self.schema:
-                    raise ValueError("schema mismatch")
-                record = self.decode(payload["record"])
-            except (OSError, ValueError, KeyError, TypeError):
+            except FileNotFoundError:
+                payload = None
+            except (OSError, ValueError):
+                self._quarantine_corrupt(path, key)
+                payload = None
+            if payload is not None:
+                if not isinstance(payload, dict):
+                    self._quarantine_corrupt(path, key)
+                elif payload.get("schema") != self.schema:
+                    pass  # versioned miss: recompute under the new schema
+                else:
+                    try:
+                        record = self.decode(payload["record"])
+                    except (KeyError, TypeError, ValueError):
+                        self._quarantine_corrupt(path, key)
+            if record is None:
                 self.misses += 1
                 _metrics.inc("unit_cache.misses")
                 sp.set(hit=False)
@@ -94,6 +122,21 @@ class ResultCache:
             sp.set(hit=True)
             return record
 
+    def _quarantine_corrupt(self, path, key):
+        """Move an unreadable cache entry aside instead of silently
+        recomputing over it."""
+        corrupt_dir = os.path.join(self.root, "corrupt")
+        try:
+            os.makedirs(corrupt_dir, exist_ok=True)
+            os.replace(path, os.path.join(
+                corrupt_dir, f"{self.subdir}-{key}.json"))
+        except OSError:
+            pass  # quarantine is best-effort; the miss still recomputes
+        _metrics.inc("unit_cache.corrupt")
+        print(f"[cache] WARNING: corrupt cache entry "
+              f"{self.subdir}/{key}.json quarantined to {corrupt_dir}; "
+              f"recomputing", file=sys.stderr, flush=True)
+
     def put(self, key, record):
         """Atomically persist ``record`` under ``key``."""
         payload = {
@@ -102,7 +145,14 @@ class ResultCache:
             "record": self.encode(record),
         }
         with trace.span("cache-write", cat="cache", store=self.subdir):
-            _atomic_write_json(self._path(key), payload, self.unit_dir)
+            text = json.dumps(payload)
+            if faultinject.maybe_tear(key):
+                # Injected torn write: persist a truncated payload the
+                # next read must quarantine (still via the atomic
+                # replace — a real tear happens inside the filesystem,
+                # not half a rename).
+                text = text[:max(1, len(text) // 2)]
+            _atomic_write_text(self._path(key), text, self.unit_dir)
         self.writes += 1
         _metrics.inc("unit_cache.writes")
 
@@ -145,10 +195,14 @@ class DatasetCache:
 
 
 def _atomic_write_json(path, payload, directory):
+    _atomic_write_text(path, json.dumps(payload), directory)
+
+
+def _atomic_write_text(path, text, directory):
     fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle)
+            handle.write(text)
         os.replace(tmp_path, path)
     except BaseException:
         try:

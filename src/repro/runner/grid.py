@@ -31,7 +31,11 @@ from typing import Optional, Tuple
 #: v4: the compiled backend's fused kernel commits one final value per
 #: comb activation, shifting event counts (and therefore modelled
 #: seconds) on compiled-backend records.
-CACHE_SCHEMA_VERSION = 4
+#: v5: records carry the ``"poisoned"`` failure kind — quarantined
+#: units (worker death / timeout / unit exception) land as structured
+#: records (``failure_kind``/``failure_detail``) instead of aborting
+#: the campaign.
+CACHE_SCHEMA_VERSION = 5
 
 
 @dataclass

@@ -105,7 +105,8 @@ class ProgressReporter:
                                lanes=lanes, eta_seconds=eta_seconds)
         print(line, file=self.stream, flush=True)
 
-    def finish(self, kernels=None, lanes=None, demotions=None):
+    def finish(self, kernels=None, lanes=None, demotions=None,
+               faults=None):
         elapsed = self.clock() - self.started
         executed = self.done - self.cached
         kernel_text = ""
@@ -140,3 +141,36 @@ class ProgressReporter:
             )
             print(f"[campaign] lane demotions: {breakdown}",
                   file=self.stream, flush=True)
+        if faults and any(faults.values()):
+            print("[campaign] fault tolerance: " + format_fault_stats(faults),
+                  file=self.stream, flush=True)
+
+    def interrupted(self, done, total, cached=0):
+        """Final summary for a SIGINT/SIGTERM abort: how far the run
+        got (finished units are cached, so a re-run resumes here)."""
+        elapsed = self.clock() - self.started
+        print(
+            f"[campaign] INTERRUPTED at {done}/{total} units after "
+            f"{_duration(elapsed)} ({cached} from cache); finished "
+            f"units are cached — re-run to resume",
+            file=self.stream, flush=True,
+        )
+
+
+def format_fault_stats(faults):
+    """Fault-tolerance summary fragment: retries, quarantines, pool
+    respawns and their causes (pure function for testability)."""
+    parts = [
+        f"{faults.get('retries', 0)} retried",
+        f"{faults.get('quarantined', 0)} quarantined",
+        f"{faults.get('pool_respawns', 0)} pool respawn(s)",
+    ]
+    causes = []
+    if faults.get("timeouts"):
+        causes.append(f"{faults['timeouts']} timeout(s)")
+    if faults.get("worker_deaths"):
+        causes.append(f"{faults['worker_deaths']} worker death(s)")
+    text = ", ".join(parts)
+    if causes:
+        text += " [" + ", ".join(causes) + "]"
+    return text

@@ -20,6 +20,7 @@ from repro.experiments.runner import run_method_on_instance, run_methods
 from repro.runner import (
     CACHE_SCHEMA_VERSION,
     CampaignRunner,
+    FaultPolicy,
     ResultCache,
     WorkUnit,
     expand_grid,
@@ -122,6 +123,9 @@ class TestCache:
         again = CampaignRunner(jobs=1, cache=fresh).run(units[:1])
         assert fresh.misses == 1
         assert again == records
+        # the corrupt bytes are quarantined for inspection, not lost
+        corrupt_dir = os.path.join(tmp_path, "corrupt")
+        assert os.path.isdir(corrupt_dir) and os.listdir(corrupt_dir)
 
     def test_schema_bump_invalidates(self, units, tmp_path):
         cache = ResultCache(tmp_path)
@@ -204,16 +208,43 @@ class TestFailurePaths:
                        method="nope", attempts=1)
         cache = ResultCache(tmp_path)
         with pytest.raises(ValueError):
-            CampaignRunner(jobs=1, cache=cache).run([units[0], bad])
+            CampaignRunner(
+                jobs=1, cache=cache,
+                policy=FaultPolicy(fail_fast=True),
+            ).run([units[0], bad])
         # the unit that finished before the failure stays cached
         assert ResultCache(tmp_path).get(units[0].cache_key()) is not None
+
+    def test_serial_failure_quarantines_by_default(self, units,
+                                                   tmp_path):
+        bad = WorkUnit(index=99, instance=units[0].instance,
+                       method="nope", attempts=1)
+        runner = CampaignRunner(jobs=1, cache=ResultCache(tmp_path))
+        records = runner.run([units[0], bad])
+        # the campaign runs to completion: the raising unit becomes a
+        # structured poisoned record, its sibling executes normally.
+        assert len(records) == 2
+        assert records[0].failure_kind is None
+        assert records[1].stage == "poisoned"
+        assert records[1].failure_kind == "exception"
+        assert "unknown method" in records[1].failure_detail["error"]
+        assert runner.fault_stats["quarantined"] == 1
 
     @pytest.mark.campaign
     def test_parallel_failure_propagates(self, units):
         bad = WorkUnit(index=99, instance=units[0].instance,
                        method="nope", attempts=1)
         with pytest.raises(ValueError):
-            run_units([bad] + list(units[:4]), jobs=2)
+            run_units([bad] + list(units[:4]), jobs=2, fail_fast=True)
+
+    @pytest.mark.campaign
+    def test_parallel_failure_quarantines_by_default(self, units):
+        bad = WorkUnit(index=99, instance=units[0].instance,
+                       method="nope", attempts=1)
+        records = run_units([bad] + list(units[:4]), jobs=2)
+        assert len(records) == 5
+        assert records[0].stage == "poisoned"
+        assert all(r.failure_kind is None for r in records[1:])
 
     def test_empty_shard_exits_zero(self, instances):
         from repro.cli import main
